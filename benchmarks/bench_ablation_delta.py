@@ -1,0 +1,21 @@
+"""Benchmark (ablation): step-size convergence of the Markovian approximation."""
+
+import numpy as np
+
+from repro.experiments import ablation_delta
+
+
+def test_ablation_delta(run_once):
+    result = run_once(ablation_delta.run)
+    print()
+    print(result.render())
+
+    deltas = np.asarray(result.data["deltas"])
+    distances = np.asarray(result.data["distances"])
+    # Refining the grid never makes the curve (noticeably) worse, and the
+    # finest grid is clearly better than the coarsest.
+    assert result.data["monotone"] is True
+    assert distances[-1] < distances[0]
+    # The cost grows as the state count, which is inversely proportional to Delta.
+    state_counts = result.data["state_counts"]
+    assert state_counts[str(deltas[-1])] > state_counts[str(deltas[0])]

@@ -1,0 +1,22 @@
+"""Benchmark (ablation): Erlang-K shape effect on the on/off lifetime distribution."""
+
+from repro.experiments import ablation_erlang
+
+
+def test_ablation_erlang(run_once):
+    result = run_once(ablation_erlang.run)
+    print()
+    print(result.render())
+
+    # The exact distribution sharpens with K (the paper's observation about
+    # simulation), while the fixed-step approximation barely changes.
+    assert result.data["exact_width_decreases"] is True
+    shapes = result.data["shapes"]
+    per_shape = result.data["per_shape"]
+    first = per_shape[str(shapes[0])]
+    last = per_shape[str(shapes[-1])]
+    exact_change = first["exact_spread_seconds"] - last["exact_spread_seconds"]
+    approx_change = abs(
+        first["approximation_spread_seconds"] - last["approximation_spread_seconds"]
+    )
+    assert exact_change > approx_change

@@ -1,0 +1,43 @@
+"""Benchmark (ablation): solver internals.
+
+These micro-benchmarks time the numerical building blocks that dominate the
+figure reproductions: Poisson-weight generation (Fox--Glynn), a single
+multi-time-point uniformisation run on a mid-sized expanded chain, and the
+construction of the expanded generator ``Q*``.  They are useful when tuning
+the solver and as a regression guard for the library's performance-critical
+paths.
+"""
+
+import numpy as np
+
+from repro.battery.parameters import rao_battery_parameters
+from repro.core.discretization import discretize
+from repro.core.kibamrm import KiBaMRM
+from repro.core.lifetime import LifetimeSolver
+from repro.markov.poisson import poisson_weights
+from repro.workload.onoff import onoff_workload
+from repro.workload.simple import simple_workload
+
+
+def test_poisson_weights_large_rate(benchmark):
+    weights = benchmark(poisson_weights, 40000.0, 1e-10)
+    assert abs(weights.total - 1.0) < 1e-8
+
+
+def test_expanded_generator_construction(benchmark):
+    model = KiBaMRM(workload=onoff_workload(frequency=1.0), battery=rao_battery_parameters())
+    discretized = benchmark(discretize, model, 50.0)
+    assert discretized.n_states > 5000
+
+
+def test_uniformisation_simple_model(benchmark):
+    battery = rao_battery_parameters(capacity_mah=800.0)
+    model = KiBaMRM(workload=simple_workload(), battery=battery)
+    solver = LifetimeSolver(model, delta=10.0 * 3.6)
+    times = np.linspace(3600.0, 30 * 3600.0, 15)
+
+    def solve():
+        return solver.solve(times)
+
+    curve = benchmark.pedantic(solve, rounds=1, iterations=1, warmup_rounds=0)
+    assert curve.probabilities[-1] > 0.95

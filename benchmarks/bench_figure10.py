@@ -1,0 +1,34 @@
+"""Benchmark: reproduce Figure 10 (simple model, three battery settings)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure10
+
+
+def test_figure10(run_once):
+    result = run_once(figure10.run)
+    print()
+    print(result.render())
+
+    nines = result.data["time_99_percent_empty_hours"]
+    # Paper: >99% empty after about 17 h / 23 h / 25 h for the three settings.
+    assert nines["C=500, c=1"] == pytest.approx(17.0, abs=1.5)
+    assert nines["C=800, c=0.625"] == pytest.approx(23.0, abs=2.0)
+    assert nines["C=800, c=1"] == pytest.approx(25.0, abs=2.0)
+    # Ordering of the three settings.
+    assert nines["C=500, c=1"] < nines["C=800, c=0.625"] < nines["C=800, c=1"]
+
+    curves = result.data["curves"]
+    times = np.asarray(result.data["times"])
+    kibam_simulation = np.asarray(curves["C=800, c=0.625, simulation"])
+    only_available = np.asarray(curves["C=500, c=1, simulation"])
+    full_reference = np.asarray(
+        curves[next(name for name in curves if name.startswith("C=800, c=1"))]
+    )
+    # "The middle curves are closer to the right curve than to the left set of
+    # curves": a large part of the bound charge becomes available.
+    at_18_hours = int(np.argmin(np.abs(times - 18.0 * 3600.0)))
+    distance_to_left = abs(kibam_simulation[at_18_hours] - only_available[at_18_hours])
+    distance_to_right = abs(kibam_simulation[at_18_hours] - full_reference[at_18_hours])
+    assert distance_to_right < distance_to_left

@@ -1,0 +1,30 @@
+"""Benchmark: reproduce Figure 11 (simple vs. burst model)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure11
+
+
+def test_figure11(run_once):
+    result = run_once(figure11.run)
+    print()
+    print(result.render())
+
+    at_20_hours = result.data["probability_empty_at_20h"]
+    # Paper: about 95 % (simple) vs. about 89 % (burst) at 20 hours.
+    assert at_20_hours["simple"] == pytest.approx(0.95, abs=0.04)
+    assert at_20_hours["burst"] == pytest.approx(0.89, abs=0.05)
+    assert at_20_hours["burst"] < at_20_hours["simple"]
+
+    # The battery lasts longer under the burst model: every probability level
+    # between 50% and 95% is reached later.
+    assert result.data["burst_lasts_longer"] is True
+    for level, (simple_hours, burst_hours) in result.data["quantiles_hours"].items():
+        assert burst_hours >= simple_hours, level
+
+    # The calibration of Section 4.3 holds: equal send probability, more sleep.
+    steady = result.data["steady_state"]
+    assert steady["send_simple"] == pytest.approx(0.25, abs=1e-6)
+    assert steady["send_burst"] == pytest.approx(0.25, abs=2e-3)
+    assert steady["sleep_burst"] > steady["sleep_simple"]

@@ -1,0 +1,22 @@
+"""Benchmark: reproduce Figure 2 (evolution of the two KiBaM wells)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure2
+
+
+def test_figure2(run_once):
+    result = run_once(figure2.run)
+    print()
+    print(result.render())
+
+    available = np.asarray(result.data["available"])
+    bound = np.asarray(result.data["bound"])
+    assert available[0] == pytest.approx(4500.0)
+    assert bound[0] == pytest.approx(2700.0)
+    # Bound charge decreases monotonically; available charge saw-tooths.
+    assert np.all(np.diff(bound) <= 1e-6)
+    assert np.any(np.diff(available) > 1e-6)
+    # The battery runs empty shortly after 12000 s (as in the figure).
+    assert 11000.0 < result.data["lifetime_seconds"] < 13500.0

@@ -1,0 +1,34 @@
+"""Benchmark: reproduce Figure 7 (on/off model, single well)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure7
+
+
+def test_figure7(run_once):
+    result = run_once(figure7.run)
+    print()
+    print(result.render())
+
+    # The lifetime is close to deterministic around 15000 s.
+    assert result.data["median_lifetime_seconds"] == pytest.approx(15000.0, rel=0.02)
+
+    curves = result.data["curves"]
+    exact = np.asarray(curves["exact (occupation-time algorithm)"])
+    simulation_label = next(label for label in curves if label.startswith("simulation"))
+    simulation = np.asarray(curves[simulation_label])
+    times = np.asarray(result.data["times"])
+
+    # Simulation agrees with the exact curve (within Monte-Carlo noise).
+    assert np.max(np.abs(simulation - exact)) < 0.06
+    # The battery cannot be empty before 7500 s of on-time have accrued.
+    assert exact[times < 10000.0].max() < 0.01
+
+    # Approximation curves improve monotonically with decreasing Delta.
+    distances = result.data["distances_to_exact"]
+    approximation_distances = [
+        distances[label] for label in sorted(distances) if label.startswith("Delta")
+    ]
+    ordered = [distances[f"Delta={d:g}"] for d in (100.0, 50.0, 25.0)]
+    assert ordered[0] >= ordered[1] >= ordered[2]

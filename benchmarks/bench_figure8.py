@@ -1,0 +1,31 @@
+"""Benchmark: reproduce Figure 8 (on/off model, both wells discretised)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure8
+
+
+def test_figure8(run_once):
+    result = run_once(figure8.run)
+    print()
+    print(result.render())
+
+    curves = result.data["curves"]
+    times = np.asarray(result.data["times"])
+    simulation_label = next(label for label in curves if label.startswith("simulation"))
+    simulation = np.asarray(curves[simulation_label])
+
+    # With c = 0.625 the battery lasts clearly shorter than the 15000 s of the
+    # single-well case: the simulated curve is essentially 1 at 15000 s.
+    assert float(np.interp(15000.0, times, simulation)) > 0.9
+    # ... but longer than draining the available well alone (4500/0.48 = 9375 s).
+    assert float(np.interp(9000.0, times, simulation)) < 0.1
+
+    # All approximation curves are proper CDFs and, as the paper reports, the
+    # 2-D discretisation stays visibly away from the simulation.
+    distances = result.data["distances_to_simulation"]
+    for label, values in curves.items():
+        values = np.asarray(values)
+        assert np.all(np.diff(values) >= -1e-9)
+    assert max(distances.values()) > 0.05

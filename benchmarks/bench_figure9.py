@@ -1,0 +1,34 @@
+"""Benchmark: reproduce Figure 9 (on/off model with different initial capacities)."""
+
+import numpy as np
+
+from repro.experiments import figure9
+
+
+def test_figure9(run_once):
+    result = run_once(figure9.run)
+    print()
+    print(result.render())
+
+    curves = result.data["curves"]
+    times = np.asarray(result.data["times"])
+
+    def curve(prefix):
+        label = next(name for name in curves if name.startswith(prefix))
+        return np.asarray(curves[label])
+
+    only_available = curve("C=4500, c=1")
+    kibam = curve("C=7200, c=0.625")
+    full_capacity = curve("C=7200, c=1")
+
+    # The paper's ordering: the 4500 As battery empties first, the full
+    # 7200 As battery (all available) lasts longest.
+    assert result.data["ordering_holds"] is True
+    # At 10000 s the 4500 As battery is almost surely empty while the full
+    # 7200 As battery is almost surely not.
+    index = int(np.argmin(np.abs(times - 11000.0)))
+    assert only_available[index] > 0.8
+    assert full_capacity[index] < 0.2
+    # The KiBaM curve lies between the two single-well extremes.
+    assert np.all(kibam <= only_available + 0.05)
+    assert np.all(full_capacity <= kibam + 0.05)

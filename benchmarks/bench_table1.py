@@ -1,0 +1,22 @@
+"""Benchmark: reproduce Table 1 (KiBaM vs. modified KiBaM lifetimes)."""
+
+import pytest
+
+from repro.experiments import table1
+
+
+def test_table1(run_once):
+    result = run_once(table1.run)
+    print()
+    print(result.render())
+
+    data = result.data
+    # KiBaM column: 91 / 203 / 203 minutes; frequency independent.
+    assert data["continuous"]["kibam_min"] == pytest.approx(91.0, abs=1.0)
+    assert data["1 Hz"]["kibam_min"] == pytest.approx(203.0, abs=2.0)
+    assert data["0.2 Hz"]["kibam_min"] == pytest.approx(data["1 Hz"]["kibam_min"], rel=0.01)
+    # Modified KiBaM column: 89 / 193 / 193 minutes.
+    assert data["continuous"]["modified_numerical_min"] == pytest.approx(89.0, abs=2.0)
+    assert data["1 Hz"]["modified_numerical_min"] == pytest.approx(193.0, abs=3.0)
+    # The fitted flow constant reproduces the paper's k = 4.5e-5 /s.
+    assert data["fitted_k_per_second"] == pytest.approx(4.5e-5, rel=0.05)

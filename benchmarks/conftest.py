@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper via the drivers
+in :mod:`repro.experiments`.  The environment variables ``REPRO_FULL=1`` and
+``REPRO_SIM_RUNS=<n>`` switch on the paper's most expensive settings and
+control the number of Monte-Carlo replications.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """Experiment configuration shared by all benchmarks."""
+    return ExperimentConfig.from_environment()
+
+
+@pytest.fixture
+def run_once(benchmark, experiment_config):
+    """Return a runner that executes an experiment exactly once under timing.
+
+    The figure reproductions are long-running (seconds to minutes), so a
+    single timed round is the right trade-off; pytest-benchmark still
+    records the wall-clock time per experiment.
+    """
+
+    def runner(experiment_runner):
+        return benchmark.pedantic(
+            experiment_runner, args=(experiment_config,), rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return runner

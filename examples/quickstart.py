@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: compute a battery lifetime distribution in a few lines.
+
+This example builds the paper's 800 mAh cell-phone battery and the simple
+three-state workload (idle / send / sleep), computes the lifetime
+distribution with the Markovian approximation, cross-checks it against
+Monte-Carlo simulation and prints both curves.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    KiBaMParameters,
+    KineticBatteryModel,
+    compute_lifetime_distribution,
+    simple_workload,
+    simulate_lifetime_distribution,
+)
+from repro.analysis.report import format_series
+from repro.analysis.distribution import LifetimeDistribution
+
+
+def main() -> None:
+    # 1. The battery: 800 mAh, 62.5 % immediately available, KiBaM flow
+    #    constant 4.5e-5 /s (the parameters used throughout the paper).
+    battery = KiBaMParameters.from_mah(800.0, c=0.625, k_per_second=4.5e-5)
+
+    # 2. The workload: the "simple" wireless-device model of Section 4.3.
+    workload = simple_workload()
+    print("workload:", workload.description)
+    print(f"mean current: {workload.mean_current() * 1000:.1f} mA")
+    print(f"ideal lifetime at the mean current: "
+          f"{battery.capacity / workload.mean_current() / 3600:.1f} h")
+    print()
+
+    # 3. The lifetime distribution via the Markovian approximation
+    #    (step size 10 mAh = 36 As).
+    times = np.linspace(1.0, 30.0, 30) * 3600.0
+    approximation = compute_lifetime_distribution(
+        workload, battery, delta=36.0, times=times, label="approximation (10 mAh)"
+    )
+
+    # 4. Cross-check with 1000 simulated discharge runs.
+    simulation_result = simulate_lifetime_distribution(
+        workload, KineticBatteryModel(battery), n_runs=1000, seed=1
+    )
+    simulation = LifetimeDistribution(
+        times=times,
+        probabilities=simulation_result.cdf(times),
+        label="simulation (1000 runs)",
+    )
+
+    print(format_series([approximation, simulation], times, time_label="t (h)", time_scale=3600.0))
+    print()
+    print(f"median lifetime (approximation): {approximation.quantile(0.5) / 3600:.1f} h")
+    print(f"mean lifetime   (simulation):    {simulation_result.mean_lifetime / 3600:.1f} h")
+    print(f"probability the battery survives a 20 h day: "
+          f"{1.0 - approximation.probability_empty_at(20 * 3600.0):.2f}")
+
+
+if __name__ == "__main__":
+    main()

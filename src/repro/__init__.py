@@ -1,0 +1,97 @@
+"""repro -- Computing Battery Lifetime Distributions (DSN 2007), in Python.
+
+This library reproduces the system described in
+
+    L. Cloth, M. R. Jongerden, B. R. Haverkort,
+    "Computing Battery Lifetime Distributions", DSN 2007.
+
+It combines the Kinetic Battery Model (KiBaM) with stochastic CTMC workload
+models into a reward-inhomogeneous Markov reward model (the *KiBaMRM*) and
+computes the distribution of the battery lifetime with the paper's
+Markovian-approximation algorithm, alongside Monte-Carlo simulation and an
+exact uniformisation-based algorithm for the single-well case.
+
+Quick start
+-----------
+>>> from repro import (KiBaMParameters, simple_workload,
+...                    compute_lifetime_distribution)
+>>> battery = KiBaMParameters.from_mah(800.0, c=0.625, k_per_second=4.5e-5)
+>>> workload = simple_workload()
+>>> curve = compute_lifetime_distribution(workload, battery, delta=25.0 * 3.6)
+>>> float(curve.probability_empty_at(20 * 3600)) > 0.5
+True
+
+Sub-packages
+------------
+``repro.battery``
+    KiBaM, modified KiBaM, Peukert's law, ideal battery, load profiles.
+``repro.workload``
+    CTMC workload models (on/off, simple, burst) and a builder.
+``repro.markov``
+    CTMC substrate: uniformisation, Fox--Glynn, steady state, phase types.
+``repro.reward``
+    Markov reward models, Sericola's exact performability algorithm.
+``repro.core``
+    The KiBaMRM and the Markovian-approximation lifetime solver.
+``repro.simulation``
+    Trajectory-driven Monte-Carlo lifetime simulation.
+``repro.analysis``
+    Result containers, comparison metrics, reporting helpers.
+``repro.experiments``
+    Reproduction drivers for every table and figure of the paper.
+"""
+
+from repro.analysis import LifetimeDistribution
+from repro.battery import (
+    ConstantLoad,
+    IdealBattery,
+    KiBaMParameters,
+    KineticBatteryModel,
+    ModifiedKineticBatteryModel,
+    PeukertBattery,
+    PiecewiseConstantLoad,
+    SquareWaveLoad,
+    rao_battery_parameters,
+)
+from repro.core import (
+    KiBaMRM,
+    LifetimeSolver,
+    compute_lifetime_distribution,
+    lifetime_distribution,
+)
+from repro.simulation import simulate_lifetime_distribution
+from repro.workload import (
+    WorkloadBuilder,
+    WorkloadModel,
+    burst_workload,
+    get_workload,
+    onoff_workload,
+    simple_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstantLoad",
+    "IdealBattery",
+    "KiBaMParameters",
+    "KiBaMRM",
+    "KineticBatteryModel",
+    "LifetimeDistribution",
+    "LifetimeSolver",
+    "ModifiedKineticBatteryModel",
+    "PeukertBattery",
+    "PiecewiseConstantLoad",
+    "SquareWaveLoad",
+    "WorkloadBuilder",
+    "WorkloadModel",
+    "burst_workload",
+    "compute_lifetime_distribution",
+    "get_workload",
+    "lifetime_distribution",
+    "onoff_workload",
+    "rao_battery_parameters",
+    "simple_workload",
+    "simulate_lifetime_distribution",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Result containers, comparison metrics and reporting helpers."""
+
+from repro.analysis.comparison import (
+    crossing_time,
+    kolmogorov_distance,
+    stochastically_dominates,
+)
+from repro.analysis.convergence import ConvergenceStudy, delta_convergence_study
+from repro.analysis.distribution import LifetimeDistribution
+from repro.analysis.report import format_series, format_table
+
+__all__ = [
+    "ConvergenceStudy",
+    "LifetimeDistribution",
+    "crossing_time",
+    "delta_convergence_study",
+    "format_series",
+    "format_table",
+    "kolmogorov_distance",
+    "stochastically_dominates",
+]

@@ -1,0 +1,131 @@
+"""Lifetime-distribution result objects.
+
+Every algorithm in the library -- the Markovian approximation, Sericola's
+exact algorithm and the Monte-Carlo simulation -- ultimately produces the
+same kind of object: the probability that the battery is empty at a grid of
+time points, i.e. a (possibly partial) CDF of the battery lifetime.  The
+:class:`LifetimeDistribution` container normalises access to those curves so
+experiments can compare them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LifetimeDistribution"]
+
+
+@dataclass(frozen=True)
+class LifetimeDistribution:
+    """The probability that the battery is empty, on a grid of time points.
+
+    Attributes
+    ----------
+    times:
+        Strictly increasing time points (seconds).
+    probabilities:
+        ``Pr{battery empty at time t}`` for every grid point; values lie in
+        ``[0, 1]`` and are non-decreasing up to numerical noise.
+    label:
+        Human-readable description of how the curve was obtained (e.g.
+        ``"approximation delta=25"`` or ``"simulation (1000 runs)"``).
+    metadata:
+        Free-form dictionary with solver settings (step size, number of
+        states, iteration counts, ...), used by the experiment reports.
+    """
+
+    times: np.ndarray
+    probabilities: np.ndarray
+    label: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float).ravel()
+        probabilities = np.asarray(self.probabilities, dtype=float).ravel()
+        if times.size != probabilities.size:
+            raise ValueError("times and probabilities must have the same length")
+        if times.size == 0:
+            raise ValueError("a lifetime distribution needs at least one point")
+        if np.any(np.diff(times) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if np.any(probabilities < -1e-9) or np.any(probabilities > 1.0 + 1e-9):
+            raise ValueError("probabilities must lie in [0, 1]")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "probabilities", np.clip(probabilities, 0.0, 1.0))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        """Number of grid points."""
+        return int(self.times.size)
+
+    def probability_empty_at(self, time) -> np.ndarray:
+        """Interpolate ``Pr{empty at t}`` at arbitrary time points.
+
+        Values outside the grid are clamped to the first/last grid value.
+        """
+        return np.interp(np.asarray(time, dtype=float), self.times, self.probabilities)
+
+    def quantile(self, probability: float) -> float:
+        """Return the first grid time at which the CDF reaches *probability*.
+
+        Raises :class:`ValueError` when the curve never reaches the level on
+        the computed grid.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        reached = np.nonzero(self.probabilities >= probability - 1e-12)[0]
+        if reached.size == 0:
+            raise ValueError(
+                f"the computed curve never reaches probability {probability} "
+                f"(maximum is {self.probabilities[-1]:.4f})"
+            )
+        return float(self.times[int(reached[0])])
+
+    def mean_lifetime(self) -> float:
+        """Estimate the mean lifetime as the area above the CDF.
+
+        ``E[L] = int_0^inf (1 - F(t)) dt`` is approximated with the
+        trapezoidal rule on the computed grid (extended to start at zero);
+        if the curve does not reach one the result is a lower bound.
+        """
+        times = np.concatenate(([0.0], self.times)) if self.times[0] > 0 else self.times
+        values = (
+            np.concatenate(([0.0], self.probabilities)) if self.times[0] > 0 else self.probabilities
+        )
+        return float(np.trapezoid(1.0 - values, times))
+
+    # ------------------------------------------------------------------
+    def max_difference(self, other: "LifetimeDistribution") -> float:
+        """Return the maximal absolute difference to *other* on a common grid.
+
+        The comparison grid is the union of both grids restricted to the
+        overlapping time range.
+        """
+        low = max(self.times[0], other.times[0])
+        high = min(self.times[-1], other.times[-1])
+        if high <= low:
+            raise ValueError("the two distributions have no overlapping time range")
+        grid = np.union1d(self.times, other.times)
+        grid = grid[(grid >= low) & (grid <= high)]
+        own = self.probability_empty_at(grid)
+        theirs = other.probability_empty_at(grid)
+        return float(np.max(np.abs(own - theirs)))
+
+    def relabel(self, label: str) -> "LifetimeDistribution":
+        """Return a copy with a different label."""
+        return LifetimeDistribution(
+            times=self.times.copy(),
+            probabilities=self.probabilities.copy(),
+            label=label,
+            metadata=dict(self.metadata),
+        )
+
+    def to_rows(self, times=None) -> list[tuple[float, float]]:
+        """Return ``(time, probability)`` rows, optionally on a custom grid."""
+        if times is None:
+            return list(zip(self.times.tolist(), self.probabilities.tolist()))
+        sampled = self.probability_empty_at(times)
+        return list(zip(np.asarray(times, dtype=float).tolist(), np.asarray(sampled).tolist()))

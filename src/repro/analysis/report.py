@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the rows and series that correspond to the
+paper's tables and figure curves; these helpers keep that formatting in one
+place and independent of any plotting library (none is available offline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.distribution import LifetimeDistribution
+
+__all__ = ["format_series", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render *rows* as a fixed-width text table with the given *headers*."""
+    header_cells = [str(h) for h in headers]
+    body_cells = [[_format_cell(value) for value in row] for row in rows]
+    for row in body_cells:
+        if len(row) != len(header_cells):
+            raise ValueError("every row must have as many cells as there are headers")
+    widths = [
+        max(len(header_cells[col]), *(len(row[col]) for row in body_cells)) if body_cells else len(header_cells[col])
+        for col in range(len(header_cells))
+    ]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(header_cells, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in body_cells:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_series(
+    curves: Sequence[LifetimeDistribution],
+    times: Sequence[float],
+    *,
+    time_label: str = "t",
+    time_scale: float = 1.0,
+) -> str:
+    """Render several lifetime curves side by side at common *times*.
+
+    Parameters
+    ----------
+    curves:
+        The curves to tabulate; their ``label`` becomes the column header.
+    times:
+        The time points (seconds) at which all curves are sampled.
+    time_label:
+        Header of the time column.
+    time_scale:
+        Divisor applied to the time column for display (e.g. 3600 to print
+        hours while sampling in seconds).
+    """
+    headers = [time_label] + [curve.label or f"curve {i}" for i, curve in enumerate(curves)]
+    rows = []
+    for time in times:
+        row: list[object] = [float(time) / time_scale]
+        for curve in curves:
+            row.append(float(curve.probability_empty_at(time)))
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,102 @@
+"""Common interface for battery models.
+
+Every battery model answers two questions about a deterministic load
+profile: *when does the battery get empty* (:meth:`Battery.lifetime`) and
+*how does the internal state evolve over time*
+(:meth:`Battery.discharge`).  The stochastic machinery of
+:mod:`repro.simulation` and :mod:`repro.core` builds on the same notions for
+random workloads.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.battery.profiles import ConstantLoad, LoadProfile
+
+__all__ = ["Battery", "DischargeResult"]
+
+
+@dataclass(frozen=True)
+class DischargeResult:
+    """Trajectory of a battery discharge under a deterministic profile.
+
+    Attributes
+    ----------
+    times:
+        Sample times in seconds.
+    available_charge:
+        Charge in the available-charge well at each sample time (As).  For
+        single-well models this is the full remaining charge.
+    bound_charge:
+        Charge in the bound-charge well at each sample time (As); zero for
+        single-well models.
+    lifetime:
+        First time at which the battery is empty, or ``None`` if it did not
+        get empty within the sampled horizon.
+    """
+
+    times: np.ndarray
+    available_charge: np.ndarray
+    bound_charge: np.ndarray
+    lifetime: float | None
+
+    @property
+    def total_charge(self) -> np.ndarray:
+        """Total remaining charge at each sample time (As)."""
+        return self.available_charge + self.bound_charge
+
+    @property
+    def delivered_charge(self) -> np.ndarray:
+        """Charge delivered to the load since time zero (As)."""
+        initial = self.total_charge[0]
+        return initial - self.total_charge
+
+
+class Battery(ABC):
+    """Abstract battery model."""
+
+    @property
+    @abstractmethod
+    def capacity(self) -> float:
+        """Nominal capacity in coulombs (As)."""
+
+    @abstractmethod
+    def lifetime(self, profile: LoadProfile, *, horizon: float | None = None) -> float | None:
+        """Return the first time (seconds) at which the battery is empty.
+
+        Parameters
+        ----------
+        profile:
+            The load profile to evaluate.
+        horizon:
+            Optional maximal time to search; models provide a sensible
+            default (several times the ideal lifetime at the mean load).
+
+        Returns
+        -------
+        float or None
+            The lifetime, or ``None`` when the battery does not run empty
+            within the search horizon (for example under a zero load).
+        """
+
+    @abstractmethod
+    def discharge(self, profile: LoadProfile, times) -> DischargeResult:
+        """Return the charge trajectory at the given sample *times*."""
+
+    # ------------------------------------------------------------------
+    # conveniences shared by all models
+    # ------------------------------------------------------------------
+    def lifetime_constant(self, current: float, *, horizon: float | None = None) -> float | None:
+        """Return the lifetime under a constant *current* (amperes)."""
+        return self.lifetime(ConstantLoad(current), horizon=horizon)
+
+    def delivered_capacity(self, current: float) -> float:
+        """Return the charge (As) delivered under a constant *current* load."""
+        life = self.lifetime_constant(current)
+        if life is None:
+            return self.capacity
+        return float(current) * life

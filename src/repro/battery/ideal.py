@@ -1,0 +1,89 @@
+"""The ideal (linear) battery model.
+
+An ideal battery delivers its full nominal capacity regardless of the load:
+under a constant current ``I`` the lifetime is simply ``C / I``.  The paper
+uses this model as the baseline against which the rate-capacity and recovery
+effects of the KiBaM are contrasted (Section 2), and the degenerate KiBaM
+case ``c = 1, k = 0`` reduces to it exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.battery.base import Battery, DischargeResult
+from repro.battery.profiles import LoadProfile
+
+__all__ = ["IdealBattery"]
+
+
+class IdealBattery(Battery):
+    """A battery that delivers exactly its nominal capacity under any load.
+
+    Parameters
+    ----------
+    capacity:
+        Nominal capacity in coulombs (As).
+    """
+
+    def __init__(self, capacity: float):
+        if capacity <= 0:
+            raise ValueError("the capacity must be positive")
+        self._capacity = float(capacity)
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def lifetime(self, profile: LoadProfile, *, horizon: float | None = None) -> float | None:
+        """Return the first time the consumed charge reaches the capacity."""
+        if horizon is None:
+            mean = profile.mean_current(3600.0)
+            if mean <= 0:
+                horizon = 100.0 * self._capacity
+            else:
+                horizon = 10.0 * self._capacity / mean + 3600.0
+        consumed = 0.0
+        elapsed = 0.0
+        for duration, current in profile.segments(horizon):
+            segment_charge = duration * current
+            if consumed + segment_charge >= self._capacity:
+                if current <= 0:
+                    return None
+                return elapsed + (self._capacity - consumed) / current
+            consumed += segment_charge
+            elapsed += duration
+        return None
+
+    def discharge(self, profile: LoadProfile, times) -> DischargeResult:
+        """Return the remaining charge at the given sample *times*."""
+        times_array = np.asarray(times, dtype=float)
+        if np.any(np.diff(times_array) < 0):
+            raise ValueError("sample times must be non-decreasing")
+        remaining = np.empty_like(times_array)
+        life: float | None = None
+
+        charge = self._capacity
+        elapsed = 0.0
+        sample_index = 0
+        horizon = float(times_array[-1]) if times_array.size else 0.0
+        for duration, current in profile.segments(horizon):
+            segment_end = elapsed + duration
+            while sample_index < times_array.size and times_array[sample_index] <= segment_end + 1e-12:
+                dt = times_array[sample_index] - elapsed
+                remaining[sample_index] = max(charge - current * dt, 0.0)
+                sample_index += 1
+            if life is None and current > 0 and charge - current * duration <= 0:
+                life = elapsed + charge / current
+            charge = max(charge - current * duration, 0.0)
+            elapsed = segment_end
+        while sample_index < times_array.size:
+            remaining[sample_index] = max(charge, 0.0)
+            sample_index += 1
+
+        return DischargeResult(
+            times=times_array,
+            available_charge=remaining,
+            bound_charge=np.zeros_like(remaining),
+            lifetime=life,
+        )

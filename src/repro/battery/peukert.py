@@ -1,0 +1,136 @@
+"""Peukert's law.
+
+Peukert's law is the simplest non-linear battery-lifetime approximation
+mentioned in Section 2 of the paper: under a constant load ``I`` the
+lifetime is ``L = a / I**b`` with battery-dependent constants ``a > 0`` and
+``b > 1``.  It captures the rate-capacity effect (higher loads deliver less
+charge) but, as the paper points out, assigns the *same* lifetime to every
+load profile with the same average current -- it cannot express the recovery
+effect that motivates the KiBaM.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.battery.base import Battery, DischargeResult
+from repro.battery.profiles import LoadProfile
+
+__all__ = ["PeukertBattery", "fit_peukert"]
+
+
+class PeukertBattery(Battery):
+    """Battery whose constant-load lifetime follows Peukert's law.
+
+    Parameters
+    ----------
+    a:
+        Peukert capacity coefficient (seconds times amperes**b); must be
+        positive.
+    b:
+        Peukert exponent; ``b = 1`` recovers the ideal battery, real
+        batteries have ``b > 1``.
+    reference_current:
+        Current (amperes) at which the *nominal* capacity is defined; used
+        only to report :attr:`capacity`.
+    """
+
+    def __init__(self, a: float, b: float, *, reference_current: float = 1.0):
+        if a <= 0:
+            raise ValueError("the Peukert coefficient a must be positive")
+        if b < 1:
+            raise ValueError("the Peukert exponent b must be at least 1")
+        if reference_current <= 0:
+            raise ValueError("the reference current must be positive")
+        self._a = float(a)
+        self._b = float(b)
+        self._reference_current = float(reference_current)
+
+    @property
+    def a(self) -> float:
+        """Peukert coefficient."""
+        return self._a
+
+    @property
+    def b(self) -> float:
+        """Peukert exponent."""
+        return self._b
+
+    @property
+    def capacity(self) -> float:
+        """Charge delivered at the reference current (As)."""
+        return self._reference_current * self.lifetime_constant(self._reference_current)
+
+    def lifetime(self, profile: LoadProfile, *, horizon: float | None = None) -> float | None:
+        """Return the Peukert lifetime for the profile's *average* current.
+
+        Peukert's law is only defined for constant loads; following the
+        discussion in the paper we apply it to the average current of the
+        profile, which is exactly the approximation whose inadequacy the
+        KiBaM addresses.
+        """
+        if horizon is None:
+            horizon = 10.0 * self._a
+        mean = profile.mean_current(horizon)
+        if mean <= 0:
+            return None
+        return self._a / mean**self._b
+
+    def lifetime_constant(self, current: float, *, horizon: float | None = None) -> float:
+        """Return ``a / current**b`` for a constant *current*."""
+        if current <= 0:
+            raise ValueError("the discharge current must be positive")
+        return self._a / float(current) ** self._b
+
+    def discharge(self, profile: LoadProfile, times) -> DischargeResult:
+        """Return an effective-charge trajectory.
+
+        The "state of charge" of a Peukert battery is defined as the
+        remaining fraction of its lifetime at the profile's average current,
+        scaled by the delivered capacity at that current.
+        """
+        times_array = np.asarray(times, dtype=float)
+        horizon = float(times_array[-1]) if times_array.size else 1.0
+        mean = profile.mean_current(max(horizon, 1.0))
+        if mean <= 0:
+            remaining = np.full_like(times_array, self.capacity)
+            return DischargeResult(
+                times=times_array,
+                available_charge=remaining,
+                bound_charge=np.zeros_like(remaining),
+                lifetime=None,
+            )
+        life = self.lifetime_constant(mean)
+        effective_capacity = mean * life
+        remaining = np.clip(effective_capacity * (1.0 - times_array / life), 0.0, None)
+        return DischargeResult(
+            times=times_array,
+            available_charge=remaining,
+            bound_charge=np.zeros_like(remaining),
+            lifetime=life if life <= horizon else None,
+        )
+
+
+def fit_peukert(currents: Sequence[float], lifetimes: Sequence[float]) -> PeukertBattery:
+    """Fit Peukert's law to measured ``(current, lifetime)`` pairs.
+
+    The fit is a least-squares line in log-log space:
+    ``log L = log a - b log I``.  At least two distinct currents are
+    required.
+    """
+    currents_array = np.asarray(currents, dtype=float)
+    lifetimes_array = np.asarray(lifetimes, dtype=float)
+    if currents_array.shape != lifetimes_array.shape or currents_array.size < 2:
+        raise ValueError("need at least two (current, lifetime) pairs of equal length")
+    if np.any(currents_array <= 0) or np.any(lifetimes_array <= 0):
+        raise ValueError("currents and lifetimes must be positive")
+    if np.unique(currents_array).size < 2:
+        raise ValueError("need at least two distinct currents to fit Peukert's law")
+    log_current = np.log(currents_array)
+    log_lifetime = np.log(lifetimes_array)
+    slope, intercept = np.polyfit(log_current, log_lifetime, deg=1)
+    b = -float(slope)
+    a = float(np.exp(intercept))
+    return PeukertBattery(a=a, b=max(b, 1.0), reference_current=float(currents_array.min()))

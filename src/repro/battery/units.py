@@ -1,0 +1,79 @@
+"""Unit conversions used throughout the library.
+
+The paper freely mixes units: battery capacities are given in mAh *and* As
+(e.g. ``C = 2000 mAh = 7200 As``), currents in A and mA, rates per second and
+per hour, and the KiBaM constant appears both as ``4.5e-5 /s`` and
+``1.96e-2 /h``.  All internal computations in this library use SI units
+(seconds, amperes, coulombs = ampere-seconds); the converters below make the
+translation explicit at the boundaries.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_MINUTE",
+    "amperes_from_milliamperes",
+    "coulombs_from_milliamp_hours",
+    "hours_from_seconds",
+    "milliamp_hours_from_coulombs",
+    "minutes_from_seconds",
+    "per_hour_from_per_second",
+    "per_second_from_per_hour",
+    "seconds_from_hours",
+    "seconds_from_minutes",
+]
+
+#: Number of seconds in one hour.
+SECONDS_PER_HOUR = 3600.0
+
+#: Number of seconds in one minute.
+SECONDS_PER_MINUTE = 60.0
+
+
+def coulombs_from_milliamp_hours(milliamp_hours: float) -> float:
+    """Convert a charge from mAh to coulombs (ampere-seconds).
+
+    ``1 mAh = 3.6 As``; e.g. the paper's 2000 mAh battery holds 7200 As.
+    """
+    return float(milliamp_hours) * 3.6
+
+
+def milliamp_hours_from_coulombs(coulombs: float) -> float:
+    """Convert a charge from coulombs (ampere-seconds) to mAh."""
+    return float(coulombs) / 3.6
+
+
+def amperes_from_milliamperes(milliamperes: float) -> float:
+    """Convert a current from mA to A."""
+    return float(milliamperes) / 1000.0
+
+
+def seconds_from_hours(hours: float) -> float:
+    """Convert a duration from hours to seconds."""
+    return float(hours) * SECONDS_PER_HOUR
+
+
+def hours_from_seconds(seconds: float) -> float:
+    """Convert a duration from seconds to hours."""
+    return float(seconds) / SECONDS_PER_HOUR
+
+
+def seconds_from_minutes(minutes: float) -> float:
+    """Convert a duration from minutes to seconds."""
+    return float(minutes) * SECONDS_PER_MINUTE
+
+
+def minutes_from_seconds(seconds: float) -> float:
+    """Convert a duration from seconds to minutes."""
+    return float(seconds) / SECONDS_PER_MINUTE
+
+
+def per_second_from_per_hour(rate_per_hour: float) -> float:
+    """Convert a rate from events per hour to events per second."""
+    return float(rate_per_hour) / SECONDS_PER_HOUR
+
+
+def per_hour_from_per_second(rate_per_second: float) -> float:
+    """Convert a rate from events per second to events per hour."""
+    return float(rate_per_second) * SECONDS_PER_HOUR

@@ -1,0 +1,129 @@
+"""Discretisation grids for the accumulated-reward space.
+
+The Markovian approximation of Section 5 replaces the continuous reward
+space ``[l1, u1] x [l2, u2]`` by a finite grid with step size ``Delta``: a
+level ``j`` stands for accumulated reward in the interval
+``(j*Delta, (j+1)*Delta]`` (left-closed for ``j = 0``), and the level range
+is ``{0, 1, ..., u/Delta}`` per reward dimension.  The degenerate case
+``c = 1`` (all charge available) needs only the first dimension; the grid
+object handles both layouts and the flattening of
+``(workload state, level 1, level 2)`` triples into indices of the expanded
+CTMC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RewardGrid"]
+
+
+@dataclass(frozen=True)
+class RewardGrid:
+    """A uniform grid over one or two bounded reward dimensions.
+
+    Attributes
+    ----------
+    delta:
+        Step size ``Delta`` (same unit as the rewards, here coulombs).
+    upper1:
+        Upper bound ``u1`` of the first reward (available charge), > 0.
+    upper2:
+        Upper bound ``u2`` of the second reward (bound charge); ``0`` selects
+        a one-dimensional grid (the ``c = 1`` case).
+    """
+
+    delta: float
+    upper1: float
+    upper2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("the step size delta must be positive")
+        if self.upper1 <= 0:
+            raise ValueError("the first reward bound must be positive")
+        if self.upper2 < 0:
+            raise ValueError("the second reward bound must be non-negative")
+        if self.delta > self.upper1:
+            raise ValueError("the step size must not exceed the first reward bound")
+
+    # ------------------------------------------------------------------
+    @property
+    def two_dimensional(self) -> bool:
+        """Whether the grid discretises both reward dimensions."""
+        return self.upper2 > 0.0
+
+    @property
+    def n_levels1(self) -> int:
+        """Number of levels of the first dimension (``u1/Delta + 1``)."""
+        return int(math.floor(self.upper1 / self.delta + 1e-9)) + 1
+
+    @property
+    def n_levels2(self) -> int:
+        """Number of levels of the second dimension (1 for 1-D grids)."""
+        if not self.two_dimensional:
+            return 1
+        return int(math.floor(self.upper2 / self.delta + 1e-9)) + 1
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of grid cells (product of the level counts)."""
+        return self.n_levels1 * self.n_levels2
+
+    # ------------------------------------------------------------------
+    def level_of(self, value: float, dimension: int = 1) -> int:
+        """Return the level whose interval ``(j*Delta, (j+1)*Delta]`` contains *value*.
+
+        Values at or below zero map to level 0 (the "empty" level); values
+        above the upper bound raise :class:`ValueError`.
+        """
+        if dimension not in (1, 2):
+            raise ValueError("dimension must be 1 or 2")
+        upper = self.upper1 if dimension == 1 else self.upper2
+        n_levels = self.n_levels1 if dimension == 1 else self.n_levels2
+        if value > upper + 1e-9:
+            raise ValueError(f"value {value} exceeds the reward bound {upper}")
+        if value <= 0.0:
+            return 0
+        level = int(math.ceil(value / self.delta - 1e-9)) - 1
+        return min(max(level, 0), n_levels - 1)
+
+    def level_value(self, level: int, dimension: int = 1) -> float:
+        """Return the reward value represented by *level* (its lower edge ``j*Delta``).
+
+        The paper identifies level ``j`` with accumulated reward ``j*Delta``
+        when evaluating the reward-dependent rates of the generator.
+        """
+        n_levels = self.n_levels1 if dimension == 1 else self.n_levels2
+        if not 0 <= level < n_levels:
+            raise ValueError(f"level {level} outside the grid (0..{n_levels - 1})")
+        return level * self.delta
+
+    # ------------------------------------------------------------------
+    def n_expanded_states(self, n_workload_states: int) -> int:
+        """Total number of states of the expanded CTMC."""
+        return n_workload_states * self.n_cells
+
+    def flat_index(self, workload_state, level1, level2=0):
+        """Flatten ``(workload state, level1, level2)`` into expanded-CTMC indices.
+
+        All three arguments may be numpy arrays (broadcast together); the
+        layout is workload-state-major, then level 1, then level 2, which
+        mirrors the block structure of Figure 6 in the paper.
+        """
+        workload_state = np.asarray(workload_state, dtype=np.int64)
+        level1 = np.asarray(level1, dtype=np.int64)
+        level2 = np.asarray(level2, dtype=np.int64)
+        return (workload_state * self.n_levels1 + level1) * self.n_levels2 + level2
+
+    def unflatten(self, index):
+        """Invert :meth:`flat_index`; returns ``(workload_state, level1, level2)``."""
+        index = np.asarray(index, dtype=np.int64)
+        level2 = index % self.n_levels2
+        rest = index // self.n_levels2
+        level1 = rest % self.n_levels1
+        workload_state = rest // self.n_levels1
+        return workload_state, level1, level2

@@ -1,0 +1,42 @@
+"""Reproduction drivers for every table and figure of the paper.
+
+Each module reproduces one artefact of the evaluation section:
+
+========  ==========================================================
+module    paper artefact
+========  ==========================================================
+table1    Table 1  -- KiBaM / modified-KiBaM lifetimes vs. measurements
+figure2   Figure 2 -- evolution of the two wells under a 0.001 Hz square wave
+figure7   Figure 7 -- on/off model, single well (c = 1, k = 0)
+figure8   Figure 8 -- on/off model, two wells (c = 0.625)
+figure9   Figure 9 -- on/off model with different initial capacities
+figure10  Figure 10 -- simple model, three battery settings
+figure11  Figure 11 -- simple vs. burst model
+ablation_delta   step-size convergence study (Section 6.1 discussion)
+ablation_erlang  Erlang-K shape study (Section 6.1 discussion)
+========  ==========================================================
+
+Every module exposes ``run(config) -> ExperimentResult``; the shared
+configuration and result containers live in
+:mod:`repro.experiments.registry`, and :mod:`repro.experiments.runner` runs
+everything in one go.
+"""
+
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+)
+from repro.experiments.runner import run_all, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "available_experiments",
+    "get_experiment",
+    "register_experiment",
+    "run_all",
+    "run_experiment",
+]

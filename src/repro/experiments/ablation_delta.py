@@ -1,0 +1,87 @@
+"""Ablation: step-size convergence of the Markovian approximation.
+
+Section 6.1 discusses how the approximation improves as ``Delta`` shrinks
+and why the cost grows so quickly (the time complexity is cubic in
+``1/Delta``).  This ablation quantifies both effects on the single-well
+on/off model, where the exact occupation-time algorithm provides a ground
+truth: for a sequence of step sizes it records the Kolmogorov distance to
+the exact curve and the size of the expanded chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.convergence import delta_convergence_study
+from repro.analysis.distribution import LifetimeDistribution
+from repro.analysis.report import format_table
+from repro.core.kibamrm import KiBaMRM
+from repro.core.lifetime import LifetimeSolver
+from repro.experiments.figure7 import FIGURE7_TIMES, onoff_single_well_battery
+from repro.experiments.registry import ExperimentConfig, ExperimentResult, register_experiment
+from repro.reward.occupation import two_level_lifetime_cdf
+from repro.workload.onoff import onoff_workload
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run the step-size convergence study."""
+    workload = onoff_workload(frequency=1.0, erlang_k=1)
+    battery = onoff_single_well_battery()
+    times = FIGURE7_TIMES
+    model = KiBaMRM(workload=workload, battery=battery)
+
+    exact = LifetimeDistribution(
+        times=times,
+        probabilities=two_level_lifetime_cdf(
+            workload.generator,
+            workload.initial_distribution,
+            workload.currents,
+            battery.capacity,
+            times,
+        ),
+        label="exact (occupation-time algorithm)",
+    )
+
+    deltas = [400.0, 200.0, 100.0, 50.0, 25.0]
+    if config.full:
+        deltas += [10.0]
+
+    state_counts: dict[float, int] = {}
+
+    def solve(delta: float) -> LifetimeDistribution:
+        solver = LifetimeSolver(model, delta)
+        state_counts[delta] = solver.n_states
+        return solver.solve(times, label=f"Delta={delta:g}")
+
+    study = delta_convergence_study(solve, deltas, exact)
+
+    rows = [
+        [delta, state_counts[delta], distance]
+        for delta, distance in zip(study.deltas, study.distances)
+    ]
+    table = format_table(["Delta (As)", "states", "sup-distance to exact"], rows)
+
+    return ExperimentResult(
+        experiment_id="ablation_delta",
+        title="Step-size convergence of the Markovian approximation (on/off, c=1)",
+        tables={"convergence": table},
+        data={
+            "deltas": list(study.deltas),
+            "distances": list(study.distances),
+            "state_counts": {str(k): v for k, v in state_counts.items()},
+            "monotone": study.is_monotonically_improving(slack=0.02),
+        },
+        paper_reference={
+            "expectation": "smaller Delta approaches the reference, at a cost growing like Delta**-3",
+            "limitation": "even Delta=5 does not capture the almost-deterministic lifetime well",
+        },
+        notes=[
+            "The reference is the exact occupation-time curve, so the distances measure pure "
+            "discretisation error (no simulation noise).",
+        ],
+    )
+
+
+register_experiment("ablation_delta", run)

@@ -1,0 +1,85 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.distribution import LifetimeDistribution
+from repro.battery.kibam import KineticBatteryModel
+from repro.battery.parameters import KiBaMParameters
+from repro.core.kibamrm import KiBaMRM
+from repro.core.lifetime import LifetimeSolver
+from repro.simulation.lifetime_sim import simulate_lifetime_distribution
+from repro.workload.base import WorkloadModel
+
+__all__ = ["approximation_curve", "approximation_curves", "simulation_curve"]
+
+
+def approximation_curve(
+    workload: WorkloadModel,
+    battery: KiBaMParameters,
+    delta: float,
+    times,
+    *,
+    label: str | None = None,
+    epsilon: float = 1e-8,
+) -> LifetimeDistribution:
+    """Run the Markovian approximation for one step size."""
+    model = KiBaMRM(workload=workload, battery=battery)
+    solver = LifetimeSolver(model, delta)
+    return solver.solve(np.asarray(times, dtype=float), epsilon=epsilon, label=label)
+
+
+def approximation_curves(
+    workload: WorkloadModel,
+    battery: KiBaMParameters,
+    deltas: Sequence[float],
+    times,
+    *,
+    label_format: str = "Delta={delta:g}",
+    epsilon: float = 1e-8,
+) -> list[LifetimeDistribution]:
+    """Run the Markovian approximation for several step sizes."""
+    return [
+        approximation_curve(
+            workload,
+            battery,
+            float(delta),
+            times,
+            label=label_format.format(delta=delta),
+            epsilon=epsilon,
+        )
+        for delta in deltas
+    ]
+
+
+def simulation_curve(
+    workload: WorkloadModel,
+    battery: KiBaMParameters,
+    times,
+    *,
+    n_runs: int,
+    seed: int,
+    label: str | None = None,
+    horizon: float | None = None,
+) -> LifetimeDistribution:
+    """Run the Monte-Carlo simulation and sample its empirical CDF at *times*."""
+    result = simulate_lifetime_distribution(
+        workload,
+        KineticBatteryModel(battery),
+        n_runs=n_runs,
+        seed=seed,
+        horizon=horizon,
+    )
+    times_array = np.asarray(times, dtype=float)
+    probabilities = result.cdf(times_array)
+    if label is None:
+        label = f"simulation ({n_runs} runs)"
+    return LifetimeDistribution(
+        times=times_array,
+        probabilities=np.asarray(probabilities, dtype=float),
+        label=label,
+        metadata={"method": "simulation", "n_runs": n_runs, "horizon": result.horizon},
+    )

@@ -1,0 +1,143 @@
+"""Figure 10 -- lifetime distribution of the simple wireless-device model.
+
+Three battery settings are analysed for the three-state "simple" workload
+(Section 6.2):
+
+* ``C = 500 mAh, c = 1`` -- only the available 62.5 % of the 800 mAh cell,
+  as if the bound charge did not exist (leftmost curves),
+* ``C = 800 mAh, c = 0.625, k = 4.5e-5 /s`` -- the actual KiBaMRM (middle
+  curves),
+* ``C = 800 mAh, c = 1`` -- the full capacity readily available, computed
+  exactly with a uniformisation-based algorithm in the paper (rightmost
+  curve).
+
+The reproduction runs the Markovian approximation with the paper's step
+sizes (25 mAh and 2 mAh), Monte-Carlo simulation for the first two settings
+and, for the third setting, a fine-step (0.5 mAh) single-well discretisation
+as the exact reference (see DESIGN.md: the general multi-level exact
+algorithm is substituted by this reference; for two-level rewards the exact
+algorithm of :mod:`repro.reward.occupation` is available and used in
+Figure 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import format_series
+from repro.battery.parameters import KiBaMParameters
+from repro.battery.units import coulombs_from_milliamp_hours, hours_from_seconds
+from repro.experiments.common import approximation_curve, approximation_curves, simulation_curve
+from repro.experiments.registry import ExperimentConfig, ExperimentResult, register_experiment
+from repro.workload.simple import simple_workload
+
+__all__ = ["run", "FIGURE10_TIMES"]
+
+#: Evaluation grid of Figure 10 (seconds; the paper's axis is 0--30 hours).
+FIGURE10_TIMES = np.linspace(1.0, 30.0, 30) * 3600.0
+
+#: The paper's KiBaM flow constant (1/s).
+PAPER_K = 4.5e-5
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Reproduce Figure 10."""
+    workload = simple_workload()
+    times = FIGURE10_TIMES
+
+    def mah(value: float) -> float:
+        return coulombs_from_milliamp_hours(value)
+
+    battery_500_available = KiBaMParameters(capacity=mah(500.0), c=1.0, k=0.0)
+    battery_800_kibam = KiBaMParameters(capacity=mah(800.0), c=0.625, k=PAPER_K)
+    battery_800_available = KiBaMParameters(capacity=mah(800.0), c=1.0, k=0.0)
+
+    deltas_mah = [25.0, 2.0]
+
+    curves = []
+    curves += approximation_curves(
+        workload,
+        battery_500_available,
+        [mah(d) for d in deltas_mah],
+        times,
+        label_format="C=500, c=1, Delta={delta:g} As",
+    )
+    curves.append(
+        simulation_curve(
+            workload,
+            battery_500_available,
+            times,
+            n_runs=config.n_simulation_runs,
+            seed=config.seed + 10,
+            label="C=500, c=1, simulation",
+        )
+    )
+    two_well_deltas = deltas_mah if config.full else [25.0, 10.0]
+    curves += approximation_curves(
+        workload,
+        battery_800_kibam,
+        [mah(d) for d in two_well_deltas],
+        times,
+        label_format="C=800, c=0.625, Delta={delta:g} As",
+    )
+    curves.append(
+        simulation_curve(
+            workload,
+            battery_800_kibam,
+            times,
+            n_runs=config.n_simulation_runs,
+            seed=config.seed + 11,
+            label="C=800, c=0.625, simulation",
+        )
+    )
+    reference_delta_mah = 0.25 if config.full else 0.5
+    exact_reference = approximation_curve(
+        workload,
+        battery_800_available,
+        mah(reference_delta_mah),
+        times,
+        label=f"C=800, c=1, reference (Delta={reference_delta_mah} mAh)",
+    )
+    curves.append(exact_reference)
+
+    table = format_series(curves, times, time_label="t (h)", time_scale=3600.0)
+
+    # The headline statements of the paper, extracted from the curves.
+    kibam_simulation = next(curve for curve in curves if curve.label == "C=800, c=0.625, simulation")
+    only_available_simulation = next(
+        curve for curve in curves if curve.label == "C=500, c=1, simulation"
+    )
+    time_99_only_available = hours_from_seconds(only_available_simulation.quantile(0.99))
+    time_99_kibam = hours_from_seconds(kibam_simulation.quantile(0.99))
+    time_99_full = hours_from_seconds(exact_reference.quantile(0.99))
+
+    return ExperimentResult(
+        experiment_id="figure10",
+        title="Lifetime distribution for the simple model, three battery settings (Figure 10)",
+        tables={"Pr[battery empty at t]": table},
+        data={
+            "times": times.tolist(),
+            "curves": {curve.label: curve.probabilities.tolist() for curve in curves},
+            "time_99_percent_empty_hours": {
+                "C=500, c=1": time_99_only_available,
+                "C=800, c=0.625": time_99_kibam,
+                "C=800, c=1": time_99_full,
+            },
+        },
+        paper_reference={
+            "C=500, c=1": "battery almost surely empty (>99%) after about 17 hours",
+            "C=800, c=0.625": "battery surely empty after about 23 hours",
+            "C=800, c=1": "battery surely empty after about 25 hours",
+            "observation": "the KiBaMRM curves lie much closer to the full-capacity curve than to the "
+            "available-charge-only curve: a large fraction of the bound charge becomes usable",
+        },
+        notes=[
+            f"99%-empty times measured: {time_99_only_available:.1f} h / {time_99_kibam:.1f} h / "
+            f"{time_99_full:.1f} h (paper: about 17 / 23 / 25 h).",
+            "The paper computes the rightmost curve with Sericola's exact algorithm; this "
+            "reproduction substitutes a 0.5 mAh single-well discretisation as documented in DESIGN.md.",
+        ],
+    )
+
+
+register_experiment("figure10", run)

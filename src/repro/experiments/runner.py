@@ -1,0 +1,44 @@
+"""Run all experiment reproductions and print their reports.
+
+``python -m repro.experiments.runner`` executes every registered experiment
+with the configuration taken from the environment (``REPRO_FULL``,
+``REPRO_SIM_RUNS``) and prints the rendered results; this is the textual
+equivalent of regenerating every table and figure of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+)
+
+__all__ = ["run_all", "run_experiment", "main"]
+
+
+def run_experiment(name: str, config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Run a single experiment by name."""
+    if config is None:
+        config = ExperimentConfig.from_environment()
+    return get_experiment(name)(config)
+
+
+def run_all(config: ExperimentConfig | None = None) -> list[ExperimentResult]:
+    """Run every registered experiment and return the results."""
+    if config is None:
+        config = ExperimentConfig.from_environment()
+    return [get_experiment(name)(config) for name in available_experiments()]
+
+
+def main() -> None:
+    """Command-line entry point."""
+    config = ExperimentConfig.from_environment()
+    for result in run_all(config):
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

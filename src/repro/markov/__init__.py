@@ -1,0 +1,80 @@
+"""Continuous-time Markov chain (CTMC) substrate.
+
+This sub-package provides the numerical machinery that the rest of the
+library is built on:
+
+* generator-matrix construction and validation (:mod:`repro.markov.generator`),
+* Poisson probability weights, including the Fox--Glynn algorithm
+  (:mod:`repro.markov.poisson`),
+* transient solution of CTMCs via uniformisation, for one or many time
+  points at once (:mod:`repro.markov.uniformization` and
+  :mod:`repro.markov.transient`),
+* steady-state solution (:mod:`repro.markov.steady_state`),
+* discrete-time Markov chains (:mod:`repro.markov.dtmc`),
+* phase-type distributions such as the Erlang-K distributions used by the
+  on/off workload model (:mod:`repro.markov.phase_type`),
+* absorbing-state analysis and first-passage times
+  (:mod:`repro.markov.absorbing`).
+
+The paper's Markovian-approximation algorithm (Section 5) reduces the
+battery-lifetime problem to the transient solution of a large, sparse CTMC;
+all of that work happens here.
+"""
+
+from repro.markov.absorbing import (
+    absorption_probabilities,
+    absorption_time_cdf,
+    expected_absorption_time,
+    first_passage_time_cdf,
+)
+from repro.markov.ctmc import CTMC
+from repro.markov.dtmc import DTMC
+from repro.markov.generator import (
+    build_generator,
+    embedded_jump_matrix,
+    exit_rates,
+    is_generator,
+    uniformized_matrix,
+    validate_generator,
+)
+from repro.markov.phase_type import (
+    PhaseTypeDistribution,
+    erlang,
+    exponential,
+    hyperexponential,
+)
+from repro.markov.poisson import PoissonWeights, fox_glynn, poisson_weights
+from repro.markov.steady_state import steady_state_distribution
+from repro.markov.transient import transient_distribution
+from repro.markov.uniformization import (
+    UniformizationResult,
+    uniformization_rate,
+    uniformized_transient,
+)
+
+__all__ = [
+    "CTMC",
+    "DTMC",
+    "PhaseTypeDistribution",
+    "PoissonWeights",
+    "UniformizationResult",
+    "absorption_probabilities",
+    "absorption_time_cdf",
+    "build_generator",
+    "embedded_jump_matrix",
+    "erlang",
+    "exit_rates",
+    "expected_absorption_time",
+    "exponential",
+    "first_passage_time_cdf",
+    "fox_glynn",
+    "hyperexponential",
+    "is_generator",
+    "poisson_weights",
+    "steady_state_distribution",
+    "transient_distribution",
+    "uniformization_rate",
+    "uniformized_matrix",
+    "uniformized_transient",
+    "validate_generator",
+]

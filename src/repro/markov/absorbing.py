@@ -1,0 +1,135 @@
+"""Absorbing-state analysis and first-passage times.
+
+The Markovian approximation of the paper makes all "battery empty" states
+absorbing; the lifetime distribution is then exactly the transient
+probability of the absorbing set.  The helpers here cover that pattern in a
+model-agnostic way and additionally provide eventual absorption
+probabilities and expected absorption times, which are used for sanity
+checks (the battery eventually runs empty with probability one) and for
+mean-lifetime estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg
+
+from repro.markov.uniformization import uniformized_transient
+
+__all__ = [
+    "absorbing_states",
+    "absorption_probabilities",
+    "absorption_time_cdf",
+    "expected_absorption_time",
+    "first_passage_time_cdf",
+]
+
+
+def _dense(generator) -> np.ndarray:
+    if sp.issparse(generator):
+        return generator.toarray()
+    return np.asarray(generator, dtype=float)
+
+
+def absorbing_states(generator, *, tolerance: float = 1e-12) -> np.ndarray:
+    """Return the indices of all absorbing states (zero exit rate)."""
+    if sp.issparse(generator):
+        diagonal = np.asarray(generator.diagonal())
+    else:
+        diagonal = np.diagonal(_dense(generator))
+    return np.nonzero(np.abs(diagonal) <= tolerance)[0]
+
+
+def absorption_time_cdf(
+    generator,
+    initial_distribution,
+    absorbing,
+    times,
+    *,
+    epsilon: float = 1e-10,
+) -> np.ndarray:
+    """Return ``Pr{absorbed by time t}`` for every ``t`` in *times*.
+
+    *absorbing* is an iterable of state indices that are absorbing in
+    *generator* (this is not re-checked; passing non-absorbing states gives
+    the probability of merely *being* there at each time).
+    """
+    result = uniformized_transient(
+        generator, initial_distribution, times, epsilon=epsilon, validate=False
+    )
+    index = np.asarray(list(absorbing), dtype=int)
+    values = result.distributions[:, index].sum(axis=1)
+    return np.clip(values, 0.0, 1.0)
+
+
+def first_passage_time_cdf(
+    generator,
+    initial_distribution,
+    target_states,
+    times,
+    *,
+    epsilon: float = 1e-10,
+) -> np.ndarray:
+    """Return the CDF of the first time the chain enters *target_states*.
+
+    The chain is modified so that the target states become absorbing; the
+    first-passage-time CDF is then the transient probability of the target
+    set in the modified chain.
+    """
+    target = np.asarray(list(target_states), dtype=int)
+    if sp.issparse(generator):
+        modified = generator.tolil(copy=True)
+        for state in target:
+            modified.rows[state] = []
+            modified.data[state] = []
+        modified = modified.tocsr()
+    else:
+        modified = _dense(generator).copy()
+        modified[target, :] = 0.0
+    return absorption_time_cdf(
+        modified, initial_distribution, target, times, epsilon=epsilon
+    )
+
+
+def absorption_probabilities(generator, absorbing=None) -> np.ndarray:
+    """Return, for every transient state, the probability of eventual absorption.
+
+    For a chain in which the only recurrent states are the absorbing ones the
+    result is a vector of ones; the routine is mainly useful as a structural
+    sanity check of generated chains.
+    """
+    matrix = _dense(generator)
+    n = matrix.shape[0]
+    if absorbing is None:
+        absorbing = absorbing_states(matrix)
+    absorbing = np.asarray(list(absorbing), dtype=int)
+    transient = np.setdiff1d(np.arange(n), absorbing)
+    if transient.size == 0:
+        return np.ones(0)
+    sub = matrix[np.ix_(transient, transient)]
+    to_absorbing = matrix[np.ix_(transient, absorbing)].sum(axis=1)
+    # Solve (-T) h = r where r is the rate into the absorbing set.
+    probabilities = np.linalg.solve(-sub, to_absorbing)
+    return np.clip(probabilities, 0.0, 1.0)
+
+
+def expected_absorption_time(generator, initial_distribution, absorbing=None) -> float:
+    """Return the expected time until absorption.
+
+    Requires that absorption is certain from every state that carries
+    initial probability mass; otherwise the linear system is singular or the
+    result meaningless.
+    """
+    matrix = _dense(generator)
+    n = matrix.shape[0]
+    if absorbing is None:
+        absorbing = absorbing_states(matrix)
+    absorbing = np.asarray(list(absorbing), dtype=int)
+    transient = np.setdiff1d(np.arange(n), absorbing)
+    alpha = np.asarray(initial_distribution, dtype=float).ravel()
+    if transient.size == 0:
+        return 0.0
+    sub = matrix[np.ix_(transient, transient)]
+    expected = np.linalg.solve(-sub, np.ones(transient.size))
+    return float(alpha[transient] @ expected)

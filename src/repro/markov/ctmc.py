@@ -1,0 +1,145 @@
+"""A small object-oriented façade for continuous-time Markov chains.
+
+The :class:`CTMC` class bundles a generator matrix, state names and an
+initial distribution, and exposes the analyses implemented in the sibling
+modules (transient solution, steady state, embedded chain, uniformisation).
+Workload models (:mod:`repro.workload`) produce :class:`CTMC` instances, and
+the discretised KiBaMRM (:mod:`repro.core`) produces one gigantic sparse
+instance per solver run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.dtmc import DTMC
+from repro.markov.generator import (
+    embedded_jump_matrix,
+    exit_rates,
+    uniformized_matrix,
+    validate_generator,
+)
+from repro.markov.steady_state import steady_state_distribution
+from repro.markov.uniformization import (
+    UniformizationResult,
+    uniformization_rate,
+    uniformized_transient,
+)
+
+__all__ = ["CTMC"]
+
+
+@dataclass
+class CTMC:
+    """A finite continuous-time Markov chain.
+
+    Parameters
+    ----------
+    generator:
+        Generator matrix (dense :class:`numpy.ndarray` or scipy sparse).
+    initial_distribution:
+        Probability vector at time zero.  Defaults to starting in state 0.
+    state_names:
+        Optional human-readable state labels.
+    validate:
+        Whether to validate the generator and initial distribution on
+        construction (default ``True``).  Large machine-generated chains may
+        disable this.
+    """
+
+    generator: object
+    initial_distribution: np.ndarray | None = None
+    state_names: list[str] = field(default_factory=list)
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if not sp.issparse(self.generator):
+            self.generator = np.asarray(self.generator, dtype=float)
+        n = self.generator.shape[0]
+        if self.initial_distribution is None:
+            initial = np.zeros(n)
+            initial[0] = 1.0
+            self.initial_distribution = initial
+        else:
+            self.initial_distribution = np.asarray(self.initial_distribution, dtype=float).ravel()
+        if not self.state_names:
+            self.state_names = [str(i) for i in range(n)]
+        if len(self.state_names) != n:
+            raise ValueError("number of state names does not match the generator size")
+        if self.initial_distribution.size != n:
+            raise ValueError("initial distribution size does not match the generator size")
+        if self.validate:
+            validate_generator(self.generator)
+            total = float(self.initial_distribution.sum())
+            if not np.isclose(total, 1.0, atol=1e-8):
+                raise ValueError(f"initial distribution sums to {total}, expected 1")
+            if np.any(self.initial_distribution < -1e-12):
+                raise ValueError("initial distribution has negative entries")
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self.generator.shape[0]
+
+    def state_index(self, name: str) -> int:
+        """Return the index of the state called *name*."""
+        try:
+            return self.state_names.index(name)
+        except ValueError as exc:
+            raise KeyError(f"unknown state name {name!r}") from exc
+
+    def exit_rates(self) -> np.ndarray:
+        """Return the exit rate of every state."""
+        return exit_rates(self.generator)
+
+    def is_absorbing(self, state: int) -> bool:
+        """Return ``True`` when *state* has exit rate zero."""
+        return bool(self.exit_rates()[state] <= 0.0)
+
+    # ------------------------------------------------------------------
+    # derived chains
+    # ------------------------------------------------------------------
+    def embedded_dtmc(self) -> DTMC:
+        """Return the embedded jump chain (dense)."""
+        return DTMC(embedded_jump_matrix(self.generator), list(self.state_names))
+
+    def uniformized_dtmc(self, rate: float | None = None) -> DTMC:
+        """Return the uniformised DTMC ``P = I + Q/rate`` (dense)."""
+        q_rate = uniformization_rate(self.generator) if rate is None else rate
+        matrix = uniformized_matrix(self.generator, q_rate)
+        if sp.issparse(matrix):
+            matrix = matrix.toarray()
+        return DTMC(matrix, list(self.state_names))
+
+    # ------------------------------------------------------------------
+    # analyses
+    # ------------------------------------------------------------------
+    def transient(self, times, *, epsilon: float = 1e-10) -> UniformizationResult:
+        """Return the transient solution at the given time point(s)."""
+        return uniformized_transient(
+            self.generator,
+            self.initial_distribution,
+            times,
+            epsilon=epsilon,
+            validate=False,
+        )
+
+    def transient_distribution(self, time: float, *, epsilon: float = 1e-10) -> np.ndarray:
+        """Return the state distribution at a single time point."""
+        return self.transient([time], epsilon=epsilon).distributions[0]
+
+    def steady_state(self) -> np.ndarray:
+        """Return the stationary distribution (irreducible chains)."""
+        return steady_state_distribution(self.generator, validate=False)
+
+    def probability_in(self, states, time: float, *, epsilon: float = 1e-10) -> float:
+        """Return the probability of being in any of *states* at *time*."""
+        distribution = self.transient_distribution(time, epsilon=epsilon)
+        index = np.asarray(list(states), dtype=int)
+        return float(distribution[index].sum())

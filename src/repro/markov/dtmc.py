@@ -1,0 +1,89 @@
+"""Discrete-time Markov chains.
+
+DTMCs appear in two places in this library: as the uniformised chain inside
+the transient solvers, and as the embedded jump chain used by the trajectory
+sampler of :mod:`repro.simulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DTMC"]
+
+
+def _validate_stochastic(matrix: np.ndarray, tolerance: float = 1e-9) -> None:
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"transition matrix must be square, got shape {matrix.shape}")
+    if np.any(matrix < -tolerance):
+        raise ValueError("transition matrix has negative entries")
+    row_sums = matrix.sum(axis=1)
+    if np.any(np.abs(row_sums - 1.0) > tolerance):
+        worst = int(np.argmax(np.abs(row_sums - 1.0)))
+        raise ValueError(
+            f"row {worst} of the transition matrix sums to {row_sums[worst]}, expected 1"
+        )
+
+
+@dataclass
+class DTMC:
+    """A finite discrete-time Markov chain.
+
+    Parameters
+    ----------
+    transition_matrix:
+        Row-stochastic matrix ``P``.
+    state_names:
+        Optional list of state labels; defaults to ``["0", "1", ...]``.
+    """
+
+    transition_matrix: np.ndarray
+    state_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.transition_matrix = np.asarray(self.transition_matrix, dtype=float)
+        _validate_stochastic(self.transition_matrix)
+        if not self.state_names:
+            self.state_names = [str(i) for i in range(self.n_states)]
+        if len(self.state_names) != self.n_states:
+            raise ValueError("number of state names does not match the matrix size")
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self.transition_matrix.shape[0]
+
+    def step(self, distribution: np.ndarray, n_steps: int = 1) -> np.ndarray:
+        """Return the distribution after *n_steps* transitions."""
+        if n_steps < 0:
+            raise ValueError("n_steps must be non-negative")
+        result = np.asarray(distribution, dtype=float).copy()
+        for _ in range(n_steps):
+            result = result @ self.transition_matrix
+        return result
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Return a stationary distribution ``pi = pi P``."""
+        n = self.n_states
+        system = (self.transition_matrix.T - np.eye(n)).copy()
+        system[-1, :] = 1.0
+        rhs = np.zeros(n)
+        rhs[-1] = 1.0
+        try:
+            solution = np.linalg.solve(system, rhs)
+        except np.linalg.LinAlgError:
+            solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+        solution = np.clip(solution, 0.0, None)
+        return solution / solution.sum()
+
+    def sample_path(self, initial_state: int, n_steps: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample a path of *n_steps* transitions starting in *initial_state*."""
+        if not 0 <= initial_state < self.n_states:
+            raise ValueError(f"initial state {initial_state} out of range")
+        path = np.empty(n_steps + 1, dtype=int)
+        path[0] = initial_state
+        for step in range(1, n_steps + 1):
+            path[step] = rng.choice(self.n_states, p=self.transition_matrix[path[step - 1]])
+        return path

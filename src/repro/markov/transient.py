@@ -1,0 +1,84 @@
+"""High-level transient-analysis helpers for CTMCs.
+
+The actual numerical work is done by
+:func:`repro.markov.uniformization.uniformized_transient`; this module adds
+the small conveniences used throughout the library: expm-based reference
+solutions for cross-checks, and cumulative (time-integrated) state
+probabilities which are needed for expected accumulated rewards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.markov.uniformization import uniformized_transient
+
+__all__ = [
+    "expm_transient",
+    "transient_distribution",
+    "cumulative_state_probabilities",
+]
+
+
+def transient_distribution(
+    generator,
+    initial_distribution,
+    times,
+    *,
+    epsilon: float = 1e-10,
+    validate: bool = True,
+) -> np.ndarray:
+    """Return transient state distributions at the given time points.
+
+    This is a thin convenience wrapper around
+    :func:`repro.markov.uniformization.uniformized_transient` that returns
+    only the distributions.  If *times* is a scalar, a one-dimensional array
+    is returned; otherwise the result has shape ``(len(times), n_states)``.
+    """
+    scalar = np.isscalar(times)
+    result = uniformized_transient(
+        generator, initial_distribution, times, epsilon=epsilon, validate=validate
+    )
+    if scalar:
+        return result.distributions[0]
+    return result.distributions
+
+
+def expm_transient(generator, initial_distribution, time: float) -> np.ndarray:
+    """Reference transient solution via the dense matrix exponential.
+
+    Only intended for small chains (tests and cross-validation); the
+    uniformisation-based solver is the production path.
+    """
+    if sp.issparse(generator):
+        dense = generator.toarray()
+    else:
+        dense = np.asarray(generator, dtype=float)
+    alpha = np.asarray(initial_distribution, dtype=float).ravel()
+    return alpha @ scipy.linalg.expm(dense * float(time))
+
+
+def cumulative_state_probabilities(
+    generator,
+    initial_distribution,
+    time: float,
+    *,
+    n_points: int = 257,
+    epsilon: float = 1e-10,
+) -> np.ndarray:
+    """Return :math:`\\int_0^t \\pi_i(s)\\,ds` for every state ``i``.
+
+    The integral is evaluated with the composite trapezoidal rule over a
+    uniform grid of *n_points* transient solutions, which is accurate enough
+    for the expected-energy computations it is used for (the integrand is
+    smooth).  ``n_points`` must be at least two.
+    """
+    if n_points < 2:
+        raise ValueError("n_points must be at least 2")
+    grid = np.linspace(0.0, float(time), int(n_points))
+    distributions = uniformized_transient(
+        generator, initial_distribution, grid, epsilon=epsilon
+    ).distributions
+    return np.trapezoid(distributions, grid, axis=0)

@@ -1,0 +1,112 @@
+"""Reward-inhomogeneous Markov reward models.
+
+Section 4.1 of the paper introduces MRMs whose generator and reward rates
+may depend on the current level of accumulated reward, ``Q(y)`` and
+``R(y)``; the KiBaMRM is the special case with two reward variables, a
+level-independent generator and the KiBaM reward rates.  The
+:class:`InhomogeneousMRM` container captures the general class (it is what
+the Markovian approximation of Section 5 formally operates on), and
+:func:`from_kibamrm` maps a :class:`~repro.core.kibamrm.KiBaMRM` onto it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InhomogeneousMRM", "from_kibamrm"]
+
+
+@dataclass(frozen=True)
+class InhomogeneousMRM:
+    """A reward-inhomogeneous MRM with (up to) two accumulated rewards.
+
+    Attributes
+    ----------
+    n_states:
+        Number of CTMC states.
+    generator_at:
+        Callable ``(y1, y2) -> ndarray`` returning the generator matrix for
+        the given accumulated-reward levels.
+    reward_rates_at:
+        Callable ``(y1, y2) -> ndarray`` of shape ``(n_states, 2)`` with the
+        reward rates ``R(y1, y2)``.
+    initial_distribution:
+        Initial probability vector over the CTMC states.
+    initial_rewards:
+        Initial values ``(a1, a2)`` of the accumulated rewards.
+    lower_bounds, upper_bounds:
+        Bounds ``(l1, l2)`` and ``(u1, u2)`` of the accumulated rewards.
+    """
+
+    n_states: int
+    generator_at: Callable[[float, float], np.ndarray]
+    reward_rates_at: Callable[[float, float], np.ndarray]
+    initial_distribution: np.ndarray
+    initial_rewards: tuple[float, float]
+    lower_bounds: tuple[float, float]
+    upper_bounds: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if self.n_states < 1:
+            raise ValueError("the model needs at least one state")
+        initial = np.asarray(self.initial_distribution, dtype=float).ravel()
+        if initial.size != self.n_states:
+            raise ValueError("initial distribution size does not match n_states")
+        if np.any(initial < -1e-12) or not np.isclose(initial.sum(), 1.0, atol=1e-9):
+            raise ValueError("the initial distribution must be a probability vector")
+        lower = tuple(float(b) for b in self.lower_bounds)
+        upper = tuple(float(b) for b in self.upper_bounds)
+        if any(lo > up for lo, up in zip(lower, upper)):
+            raise ValueError("lower reward bounds must not exceed the upper bounds")
+        start = tuple(float(a) for a in self.initial_rewards)
+        if any(not lo - 1e-9 <= a <= up + 1e-9 for a, lo, up in zip(start, lower, upper)):
+            raise ValueError("the initial rewards must lie within the bounds")
+        object.__setattr__(self, "initial_distribution", initial)
+        object.__setattr__(self, "lower_bounds", lower)
+        object.__setattr__(self, "upper_bounds", upper)
+        object.__setattr__(self, "initial_rewards", start)
+
+    # ------------------------------------------------------------------
+    def reward_derivatives(self, state: int, y1: float, y2: float) -> tuple[float, float]:
+        """Return ``(dy1/dt, dy2/dt)`` while residing in *state* at ``(y1, y2)``.
+
+        This is the right-hand side of the reward differential equations of
+        Section 4.1 (battery case).
+        """
+        rates = np.asarray(self.reward_rates_at(y1, y2), dtype=float)
+        return float(rates[state, 0]), float(rates[state, 1])
+
+    def generator(self, y1: float, y2: float) -> np.ndarray:
+        """Return ``Q(y1, y2)`` as a dense array."""
+        return np.asarray(self.generator_at(y1, y2), dtype=float)
+
+
+def from_kibamrm(model) -> InhomogeneousMRM:
+    """Express a :class:`~repro.core.kibamrm.KiBaMRM` as an :class:`InhomogeneousMRM`.
+
+    The generator of the KiBaMRM does not depend on the reward levels (the
+    workload evolves independently of the battery state); the reward rates
+    are the KiBaM drain and transfer rates of Section 4.2.
+    """
+    workload = model.workload
+    generator = workload.generator
+
+    def generator_at(_y1: float, _y2: float) -> np.ndarray:
+        return generator
+
+    def reward_rates_at(y1: float, y2: float) -> np.ndarray:
+        return model.reward_rate_matrix(y1, y2)
+
+    upper1, upper2 = model.reward_bounds
+    return InhomogeneousMRM(
+        n_states=workload.n_states,
+        generator_at=generator_at,
+        reward_rates_at=reward_rates_at,
+        initial_distribution=workload.initial_distribution,
+        initial_rewards=model.initial_rewards,
+        lower_bounds=(0.0, 0.0),
+        upper_bounds=(upper1, upper2),
+    )

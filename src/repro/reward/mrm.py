@@ -1,0 +1,123 @@
+"""Homogeneous Markov reward models.
+
+A homogeneous MRM is a CTMC together with a reward rate ``r_i`` per state;
+the accumulated reward is ``Y(t) = int_0^t r_{X(s)} ds`` (Section 4.1 of the
+paper).  For battery models the reward is the consumed charge; the
+distribution of ``Y(t)`` is the performability distribution whose
+computation the paper is about.
+
+This module provides the container plus the analyses that have simple,
+uncontroversial algorithms: the expected accumulated reward (an integral of
+transient state probabilities) and dispatching to the exact two-level
+algorithm of :mod:`repro.reward.occupation` where it applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.transient import cumulative_state_probabilities
+from repro.reward.occupation import two_level_reward_distribution
+
+__all__ = ["MarkovRewardModel"]
+
+
+@dataclass(frozen=True)
+class MarkovRewardModel:
+    """A CTMC with one reward rate per state.
+
+    Attributes
+    ----------
+    generator:
+        CTMC generator matrix (dense, the workload chains are small).
+    initial_distribution:
+        Probability vector over the states at time zero.
+    rewards:
+        Reward rate of every state (non-negative for battery models, but
+        negative rates are allowed by the container).
+    state_names:
+        Optional state labels.
+    """
+
+    generator: np.ndarray
+    initial_distribution: np.ndarray
+    rewards: np.ndarray
+    state_names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        generator = np.asarray(self.generator, dtype=float)
+        initial = np.asarray(self.initial_distribution, dtype=float).ravel()
+        rewards = np.asarray(self.rewards, dtype=float).ravel()
+        n = generator.shape[0]
+        if generator.shape != (n, n):
+            raise ValueError("the generator must be square")
+        if initial.size != n or rewards.size != n:
+            raise ValueError("initial distribution and rewards must match the generator size")
+        names = tuple(self.state_names) if self.state_names else tuple(str(i) for i in range(n))
+        if len(names) != n:
+            raise ValueError("number of state names does not match the generator size")
+        object.__setattr__(self, "generator", generator)
+        object.__setattr__(self, "initial_distribution", initial)
+        object.__setattr__(self, "rewards", rewards)
+        object.__setattr__(self, "state_names", names)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self.generator.shape[0]
+
+    @property
+    def distinct_rewards(self) -> np.ndarray:
+        """The sorted distinct reward rates."""
+        return np.unique(self.rewards)
+
+    # ------------------------------------------------------------------
+    def expected_accumulated_reward(self, time: float, *, n_points: int = 257) -> float:
+        """Return ``E[Y(t)] = int_0^t pi(s) r ds``.
+
+        The integral is evaluated from transient state probabilities on a
+        fine grid; the integrand is smooth, so the trapezoidal rule is
+        accurate.
+        """
+        occupancy = cumulative_state_probabilities(
+            self.generator, self.initial_distribution, time, n_points=n_points
+        )
+        return float(occupancy @ self.rewards)
+
+    def reward_ceiling(self, time: float) -> float:
+        """Upper bound ``max_i r_i * t`` on the accumulated reward."""
+        return float(np.max(self.rewards) * time)
+
+    def reward_floor(self, time: float) -> float:
+        """Lower bound ``min_i r_i * t`` on the accumulated reward."""
+        return float(np.min(self.rewards) * time)
+
+    # ------------------------------------------------------------------
+    def accumulated_reward_exceeds(self, time: float, threshold: float, *, epsilon: float = 1e-10) -> float:
+        """Return ``Pr{Y(t) > threshold}`` exactly, for two-level reward structures.
+
+        Only models whose rewards take at most two distinct values are
+        supported (the exact algorithm of
+        :mod:`repro.reward.occupation`); other models should use the
+        discretisation-based approaches (:mod:`repro.reward.discretisation`
+        or the Markovian approximation of :mod:`repro.core`).
+        """
+        distinct = self.distinct_rewards
+        if distinct.size > 2:
+            raise NotImplementedError(
+                "the exact algorithm is only implemented for rewards with at most two "
+                f"distinct values (got {distinct.size}); use the discretisation-based solvers"
+            )
+        return float(
+            two_level_reward_distribution(
+                self.generator,
+                self.initial_distribution,
+                self.rewards,
+                time,
+                np.array([threshold]),
+                epsilon=epsilon,
+            )[0]
+        )

@@ -1,0 +1,41 @@
+"""Stochastic simulation of workloads and batteries.
+
+The paper validates its Markovian-approximation algorithm against
+stochastic simulation: CTMC workload trajectories are sampled and the
+analytical KiBaM is integrated along each trajectory; the empirical
+distribution of the resulting lifetimes is the reference curve in
+Figures 7, 8 and 10.  This sub-package provides exactly that machinery:
+
+* :mod:`repro.simulation.rng` -- reproducible random-number generators,
+* :mod:`repro.simulation.trajectory` -- CTMC trajectory sampling,
+* :mod:`repro.simulation.battery_sim` -- integrating a battery model along a
+  sampled trajectory,
+* :mod:`repro.simulation.lifetime_sim` -- Monte-Carlo estimation of the
+  lifetime distribution with confidence bands,
+* :mod:`repro.simulation.statistics` -- empirical CDFs and summary
+  statistics.
+"""
+
+from repro.simulation.battery_sim import simulate_battery_on_trajectory, simulate_lifetime_once
+from repro.simulation.lifetime_sim import LifetimeSimulationResult, simulate_lifetime_distribution
+from repro.simulation.rng import make_rng, spawn_rngs
+from repro.simulation.statistics import (
+    EmpiricalDistribution,
+    dkw_confidence_band,
+    summarize_samples,
+)
+from repro.simulation.trajectory import Trajectory, sample_trajectory
+
+__all__ = [
+    "EmpiricalDistribution",
+    "LifetimeSimulationResult",
+    "Trajectory",
+    "dkw_confidence_band",
+    "make_rng",
+    "sample_trajectory",
+    "simulate_battery_on_trajectory",
+    "simulate_lifetime_distribution",
+    "simulate_lifetime_once",
+    "spawn_rngs",
+    "summarize_samples",
+]

@@ -1,0 +1,148 @@
+"""Empirical distributions and summary statistics for simulation output.
+
+The simulation experiments of the paper report empirical lifetime CDFs
+obtained from (typically 1000) independent runs.  This module provides the
+empirical-distribution container used for those curves, the
+Dvoretzky--Kiefer--Wolfowitz (DKW) confidence band that quantifies how far
+the empirical CDF can be from the true one, and small summary helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EmpiricalDistribution", "dkw_confidence_band", "summarize_samples"]
+
+
+def dkw_confidence_band(n_samples: int, confidence: float = 0.95) -> float:
+    """Return the half-width of the DKW confidence band for an empirical CDF.
+
+    With probability at least *confidence*, the empirical CDF of
+    *n_samples* i.i.d. observations deviates from the true CDF by less than
+    the returned value, uniformly over the whole real line.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be at least 1")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie strictly between 0 and 1")
+    alpha = 1.0 - confidence
+    return math.sqrt(math.log(2.0 / alpha) / (2.0 * n_samples))
+
+
+@dataclass(frozen=True)
+class EmpiricalDistribution:
+    """Empirical distribution of a sample (right-continuous empirical CDF).
+
+    Censored observations (runs in which the event of interest did not
+    happen before the simulation horizon) may be encoded as ``numpy.inf``;
+    they contribute to the sample size but never to the CDF value, which is
+    the correct treatment for the lifetime CDF on the observed range.
+    """
+
+    samples: np.ndarray
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=float).ravel()
+        if samples.size == 0:
+            raise ValueError("an empirical distribution needs at least one sample")
+        if np.any(np.isnan(samples)):
+            raise ValueError("samples must not contain NaN")
+        object.__setattr__(self, "samples", np.sort(samples))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Total number of observations (including censored ones)."""
+        return int(self.samples.size)
+
+    @property
+    def n_censored(self) -> int:
+        """Number of censored (infinite) observations."""
+        return int(np.sum(np.isinf(self.samples)))
+
+    @property
+    def finite_samples(self) -> np.ndarray:
+        """The non-censored observations, sorted ascendingly."""
+        return self.samples[np.isfinite(self.samples)]
+
+    # ------------------------------------------------------------------
+    def cdf(self, points) -> np.ndarray:
+        """Evaluate the empirical CDF at the given *points* (vectorised)."""
+        points_array = np.atleast_1d(np.asarray(points, dtype=float))
+        counts = np.searchsorted(self.samples, points_array, side="right")
+        values = counts / self.n_samples
+        return values if np.ndim(points) else float(values[0])
+
+    def survival(self, points) -> np.ndarray:
+        """Evaluate the empirical survival function ``1 - CDF``."""
+        return 1.0 - self.cdf(points)
+
+    def quantile(self, probability: float) -> float:
+        """Return the empirical *probability*-quantile.
+
+        Raises :class:`ValueError` when the requested quantile falls into the
+        censored part of the sample.
+        """
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must lie in (0, 1]")
+        index = int(math.ceil(probability * self.n_samples)) - 1
+        value = float(self.samples[index])
+        if math.isinf(value):
+            raise ValueError(
+                f"the {probability:.3f}-quantile is censored (beyond the simulation horizon)"
+            )
+        return value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the non-censored observations."""
+        finite = self.finite_samples
+        if finite.size == 0:
+            raise ValueError("all observations are censored")
+        return float(finite.mean())
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation of the non-censored observations."""
+        finite = self.finite_samples
+        if finite.size < 2:
+            return 0.0
+        return float(finite.std(ddof=1))
+
+    def confidence_band(self, points, confidence: float = 0.95) -> tuple[np.ndarray, np.ndarray]:
+        """Return a simultaneous (DKW) confidence band for the CDF at *points*."""
+        half_width = dkw_confidence_band(self.n_samples, confidence)
+        values = self.cdf(points)
+        lower = np.clip(np.asarray(values) - half_width, 0.0, 1.0)
+        upper = np.clip(np.asarray(values) + half_width, 0.0, 1.0)
+        return lower, upper
+
+
+def summarize_samples(samples) -> dict[str, float]:
+    """Return a small dictionary of summary statistics of *samples*.
+
+    Censored (infinite) observations are excluded from all statistics except
+    ``n`` and ``n_censored``.
+    """
+    distribution = EmpiricalDistribution(np.asarray(samples, dtype=float))
+    finite = distribution.finite_samples
+    summary: dict[str, float] = {
+        "n": float(distribution.n_samples),
+        "n_censored": float(distribution.n_censored),
+    }
+    if finite.size > 0:
+        summary.update(
+            {
+                "mean": float(finite.mean()),
+                "std": float(finite.std(ddof=1)) if finite.size > 1 else 0.0,
+                "min": float(finite.min()),
+                "max": float(finite.max()),
+                "median": float(np.median(finite)),
+                "p05": float(np.quantile(finite, 0.05)),
+                "p95": float(np.quantile(finite, 0.95)),
+            }
+        )
+    return summary

@@ -1,0 +1,32 @@
+"""Stochastic workload models.
+
+A workload model describes the operating modes of a battery-powered device
+as a CTMC, together with the current drawn in every mode.  The paper uses
+three such models (Section 4.3):
+
+* the Erlang-K **on/off** model (:mod:`repro.workload.onoff`),
+* the three-state **simple** model of a small wireless device
+  (:mod:`repro.workload.simple`),
+* the five-state **burst** model that condenses the sending activity
+  (:mod:`repro.workload.burst`).
+
+:mod:`repro.workload.builder` offers a fluent API for defining custom
+models, and :mod:`repro.workload.catalog` a registry of the standard ones.
+"""
+
+from repro.workload.base import WorkloadModel
+from repro.workload.builder import WorkloadBuilder
+from repro.workload.burst import burst_workload
+from repro.workload.catalog import available_workloads, get_workload
+from repro.workload.onoff import onoff_workload
+from repro.workload.simple import simple_workload
+
+__all__ = [
+    "WorkloadBuilder",
+    "WorkloadModel",
+    "available_workloads",
+    "burst_workload",
+    "get_workload",
+    "onoff_workload",
+    "simple_workload",
+]

@@ -1,0 +1,124 @@
+"""Fluent construction of workload models.
+
+The :class:`WorkloadBuilder` lets users describe a workload in the units the
+paper uses -- transition rates per hour and currents in mA -- and converts
+everything to SI units when :meth:`WorkloadBuilder.build` is called.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.battery import units
+from repro.workload.base import WorkloadModel
+
+__all__ = ["WorkloadBuilder"]
+
+
+@dataclass
+class _StateSpec:
+    name: str
+    current_amperes: float
+
+
+class WorkloadBuilder:
+    """Incrementally build a :class:`~repro.workload.base.WorkloadModel`.
+
+    Example
+    -------
+    >>> builder = WorkloadBuilder(time_unit="hours")
+    >>> builder.add_state("idle", current_ma=8.0)
+    >>> builder.add_state("send", current_ma=200.0)
+    >>> builder.add_transition("idle", "send", rate=2.0)
+    >>> builder.add_transition("send", "idle", rate=6.0)
+    >>> model = builder.initial_state("idle").build()
+    >>> model.n_states
+    2
+    """
+
+    def __init__(self, *, time_unit: str = "seconds", description: str = ""):
+        if time_unit not in ("seconds", "hours"):
+            raise ValueError("time_unit must be 'seconds' or 'hours'")
+        self._time_unit = time_unit
+        self._description = description
+        self._states: list[_StateSpec] = []
+        self._transitions: list[tuple[str, str, float]] = []
+        self._initial: str | None = None
+
+    # ------------------------------------------------------------------
+    def add_state(
+        self,
+        name: str,
+        *,
+        current_ma: float | None = None,
+        current_a: float | None = None,
+    ) -> "WorkloadBuilder":
+        """Add an operating mode with the given current draw.
+
+        Exactly one of *current_ma* and *current_a* must be given.
+        """
+        if (current_ma is None) == (current_a is None):
+            raise ValueError("specify exactly one of current_ma and current_a")
+        if any(state.name == name for state in self._states):
+            raise ValueError(f"state {name!r} already exists")
+        current = (
+            units.amperes_from_milliamperes(current_ma) if current_ma is not None else float(current_a)
+        )
+        if current < 0:
+            raise ValueError("the state current must be non-negative")
+        self._states.append(_StateSpec(name=name, current_amperes=current))
+        return self
+
+    def add_transition(self, source: str, target: str, *, rate: float) -> "WorkloadBuilder":
+        """Add a transition with the given rate (in the builder's time unit)."""
+        if rate < 0:
+            raise ValueError("transition rates must be non-negative")
+        if source == target:
+            raise ValueError("self-loops are not allowed")
+        self._transitions.append((source, target, float(rate)))
+        return self
+
+    def initial_state(self, name: str) -> "WorkloadBuilder":
+        """Declare the state the device starts in."""
+        self._initial = name
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> WorkloadModel:
+        """Return the finished :class:`WorkloadModel` (rates in 1/s, currents in A)."""
+        if not self._states:
+            raise ValueError("a workload model needs at least one state")
+        names = [state.name for state in self._states]
+        index = {name: i for i, name in enumerate(names)}
+        n = len(names)
+
+        rate_factor = 1.0
+        if self._time_unit == "hours":
+            rate_factor = 1.0 / units.SECONDS_PER_HOUR
+
+        generator = np.zeros((n, n))
+        for source, target, rate in self._transitions:
+            if source not in index:
+                raise ValueError(f"transition refers to unknown state {source!r}")
+            if target not in index:
+                raise ValueError(f"transition refers to unknown state {target!r}")
+            generator[index[source], index[target]] += rate * rate_factor
+        np.fill_diagonal(generator, 0.0)
+        np.fill_diagonal(generator, -generator.sum(axis=1))
+
+        initial = np.zeros(n)
+        initial_name = self._initial if self._initial is not None else names[0]
+        if initial_name not in index:
+            raise ValueError(f"initial state {initial_name!r} is not a declared state")
+        initial[index[initial_name]] = 1.0
+
+        currents = np.array([state.current_amperes for state in self._states])
+        return WorkloadModel(
+            state_names=tuple(names),
+            generator=generator,
+            currents=currents,
+            initial_distribution=initial,
+            description=self._description,
+        )

@@ -1,0 +1,87 @@
+"""The "burst" workload model (Figure 5 of the paper).
+
+To extend the battery lifetime the wireless device of the simple model can
+buffer its traffic and transmit it in short bursts: an exogenous data *flow*
+switches on with rate ``switch_on = 1`` per hour and off with rate
+``switch_off = 6`` per hour.  While the flow is on, buffered data arrives at
+the very high rate ``lambda_burst = 182`` per hour, driving the device from
+``on-idle`` into ``on-send``; transmissions complete with the same rate
+``mu = 6`` per hour as in the simple model.  While the flow is off the
+device may time out from ``off-idle`` into ``sleep`` with rate
+``tau = 1`` per hour.
+
+The value ``lambda_burst = 182`` per hour is chosen in the paper such that
+the steady-state probability of sending (``on-send`` or ``off-send``) equals
+the 25 % sending probability of the simple model, which makes the two
+models' energy demands comparable; the sleep probability is then higher in
+the burst model.
+"""
+
+from __future__ import annotations
+
+from repro.workload.base import WorkloadModel
+from repro.workload.builder import WorkloadBuilder
+
+__all__ = ["burst_workload"]
+
+#: Default parameters of the burst model (rates per hour, currents in mA).
+DEFAULT_SWITCH_ON_RATE = 1.0
+DEFAULT_SWITCH_OFF_RATE = 6.0
+DEFAULT_SEND_RATE = 6.0
+DEFAULT_SLEEP_RATE = 1.0
+DEFAULT_BURST_ARRIVAL_RATE = 182.0
+DEFAULT_IDLE_CURRENT_MA = 8.0
+DEFAULT_SEND_CURRENT_MA = 200.0
+DEFAULT_SLEEP_CURRENT_MA = 0.0
+
+
+def burst_workload(
+    *,
+    switch_on_rate_per_hour: float = DEFAULT_SWITCH_ON_RATE,
+    switch_off_rate_per_hour: float = DEFAULT_SWITCH_OFF_RATE,
+    send_rate_per_hour: float = DEFAULT_SEND_RATE,
+    sleep_rate_per_hour: float = DEFAULT_SLEEP_RATE,
+    burst_arrival_rate_per_hour: float = DEFAULT_BURST_ARRIVAL_RATE,
+    idle_current_ma: float = DEFAULT_IDLE_CURRENT_MA,
+    send_current_ma: float = DEFAULT_SEND_CURRENT_MA,
+    sleep_current_ma: float = DEFAULT_SLEEP_CURRENT_MA,
+) -> WorkloadModel:
+    """Build the five-state burst workload model.
+
+    All rates are per hour and all currents in mA, matching Section 4.3 of
+    the paper; they are converted to SI units internally.  The five states
+    are ``sleep``, ``off-idle``, ``on-idle``, ``off-send`` and ``on-send``;
+    the device starts in ``off-idle``.
+    """
+    builder = WorkloadBuilder(
+        time_unit="hours",
+        description=(
+            "Burst 5-state wireless-device workload "
+            f"(switch_on={switch_on_rate_per_hour}/h, "
+            f"switch_off={switch_off_rate_per_hour}/h, "
+            f"lambda_burst={burst_arrival_rate_per_hour}/h)"
+        ),
+    )
+    builder.add_state("sleep", current_ma=sleep_current_ma)
+    builder.add_state("off-idle", current_ma=idle_current_ma)
+    builder.add_state("on-idle", current_ma=idle_current_ma)
+    builder.add_state("off-send", current_ma=send_current_ma)
+    builder.add_state("on-send", current_ma=send_current_ma)
+
+    # Flow switches on: the device wakes up / keeps working with data arriving.
+    builder.add_transition("sleep", "on-idle", rate=switch_on_rate_per_hour)
+    builder.add_transition("off-idle", "on-idle", rate=switch_on_rate_per_hour)
+    builder.add_transition("off-send", "on-send", rate=switch_on_rate_per_hour)
+    # Flow switches off.
+    builder.add_transition("on-idle", "off-idle", rate=switch_off_rate_per_hour)
+    builder.add_transition("on-send", "off-send", rate=switch_off_rate_per_hour)
+    # Buffered data arrives in a burst while the flow is on.
+    builder.add_transition("on-idle", "on-send", rate=burst_arrival_rate_per_hour)
+    # Transmissions complete.
+    builder.add_transition("on-send", "on-idle", rate=send_rate_per_hour)
+    builder.add_transition("off-send", "off-idle", rate=send_rate_per_hour)
+    # Timeout into the power-saving sleep state while the flow is off.
+    builder.add_transition("off-idle", "sleep", rate=sleep_rate_per_hour)
+
+    builder.initial_state("off-idle")
+    return builder.build()

@@ -1,0 +1,53 @@
+"""Registry of the standard workload models.
+
+The catalog maps short names to the factory functions of the models used in
+the paper, so that experiment drivers and examples can select a workload by
+name (``get_workload("simple")``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.workload.base import WorkloadModel
+from repro.workload.burst import burst_workload
+from repro.workload.onoff import onoff_workload
+from repro.workload.simple import simple_workload
+
+__all__ = ["available_workloads", "get_workload", "register_workload"]
+
+_CATALOG: dict[str, Callable[..., WorkloadModel]] = {
+    "onoff": onoff_workload,
+    "simple": simple_workload,
+    "burst": burst_workload,
+}
+
+
+def available_workloads() -> list[str]:
+    """Return the names of all registered workload factories."""
+    return sorted(_CATALOG)
+
+
+def register_workload(name: str, factory: Callable[..., WorkloadModel]) -> None:
+    """Register a custom workload factory under *name*.
+
+    Raises :class:`ValueError` if the name is already taken.
+    """
+    if name in _CATALOG:
+        raise ValueError(f"a workload named {name!r} is already registered")
+    _CATALOG[name] = factory
+
+
+def get_workload(name: str, **kwargs) -> WorkloadModel:
+    """Instantiate the workload registered under *name*.
+
+    Keyword arguments are forwarded to the factory (e.g.
+    ``get_workload("onoff", frequency=1.0, erlang_k=2)``).
+    """
+    try:
+        factory = _CATALOG[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
+        ) from exc
+    return factory(**kwargs)

@@ -1,0 +1,65 @@
+"""The "simple" three-state workload model (Figure 4 of the paper).
+
+A small battery-powered wireless device idles, occasionally sends data and
+sometimes falls asleep:
+
+* from **idle**, data to be sent arrives with rate ``lambda = 2`` per hour
+  (move to **send**) and the device times out into **sleep** with rate
+  ``tau = 1`` per hour;
+* a transmission takes 10 minutes on average, i.e. **send** returns to
+  **idle** with rate ``mu = 6`` per hour;
+* from **sleep**, newly arriving data (rate ``lambda``) wakes the device
+  directly into **send**.
+
+Power consumption is 8 mA when idling, 200 mA when sending and negligible
+(0 mA) when sleeping.  With the paper's 800 mAh battery the device could
+theoretically spend 4 hours in send mode or 100 hours in idle mode.
+"""
+
+from __future__ import annotations
+
+from repro.workload.base import WorkloadModel
+from repro.workload.builder import WorkloadBuilder
+
+__all__ = ["simple_workload"]
+
+#: Default parameters of the simple model (rates per hour, currents in mA).
+DEFAULT_ARRIVAL_RATE = 2.0
+DEFAULT_SEND_RATE = 6.0
+DEFAULT_SLEEP_RATE = 1.0
+DEFAULT_IDLE_CURRENT_MA = 8.0
+DEFAULT_SEND_CURRENT_MA = 200.0
+DEFAULT_SLEEP_CURRENT_MA = 0.0
+
+
+def simple_workload(
+    *,
+    arrival_rate_per_hour: float = DEFAULT_ARRIVAL_RATE,
+    send_rate_per_hour: float = DEFAULT_SEND_RATE,
+    sleep_rate_per_hour: float = DEFAULT_SLEEP_RATE,
+    idle_current_ma: float = DEFAULT_IDLE_CURRENT_MA,
+    send_current_ma: float = DEFAULT_SEND_CURRENT_MA,
+    sleep_current_ma: float = DEFAULT_SLEEP_CURRENT_MA,
+) -> WorkloadModel:
+    """Build the simple three-state workload model.
+
+    All rates are per hour and all currents in mA, matching Section 4.3 of
+    the paper; they are converted to SI units internally.
+    """
+    builder = WorkloadBuilder(
+        time_unit="hours",
+        description=(
+            "Simple 3-state wireless-device workload "
+            f"(lambda={arrival_rate_per_hour}/h, mu={send_rate_per_hour}/h, "
+            f"tau={sleep_rate_per_hour}/h)"
+        ),
+    )
+    builder.add_state("idle", current_ma=idle_current_ma)
+    builder.add_state("send", current_ma=send_current_ma)
+    builder.add_state("sleep", current_ma=sleep_current_ma)
+    builder.add_transition("idle", "send", rate=arrival_rate_per_hour)
+    builder.add_transition("idle", "sleep", rate=sleep_rate_per_hour)
+    builder.add_transition("send", "idle", rate=send_rate_per_hour)
+    builder.add_transition("sleep", "send", rate=arrival_rate_per_hour)
+    builder.initial_state("idle")
+    return builder.build()

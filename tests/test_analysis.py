@@ -1,0 +1,124 @@
+"""Tests for the analysis containers, comparison metrics and reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import crossing_time, kolmogorov_distance, stochastically_dominates
+from repro.analysis.convergence import delta_convergence_study
+from repro.analysis.distribution import LifetimeDistribution
+from repro.analysis.report import format_series, format_table
+
+
+def make_curve(times, probabilities, label=""):
+    return LifetimeDistribution(
+        times=np.asarray(times, dtype=float),
+        probabilities=np.asarray(probabilities, dtype=float),
+        label=label,
+    )
+
+
+class TestLifetimeDistribution:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_curve([1.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            make_curve([1.0, 2.0], [0.0, 1.5])
+        with pytest.raises(ValueError):
+            make_curve([1.0, 2.0], [0.0])
+
+    def test_interpolation_and_clamping(self):
+        curve = make_curve([10.0, 20.0], [0.2, 0.8])
+        assert curve.probability_empty_at(15.0) == pytest.approx(0.5)
+        assert curve.probability_empty_at(0.0) == pytest.approx(0.2)
+        assert curve.probability_empty_at(100.0) == pytest.approx(0.8)
+
+    def test_quantile(self):
+        curve = make_curve([10.0, 20.0, 30.0], [0.1, 0.6, 1.0])
+        assert curve.quantile(0.5) == 20.0
+        assert curve.quantile(1.0) == 30.0
+        with pytest.raises(ValueError):
+            make_curve([10.0, 20.0], [0.1, 0.2]).quantile(0.9)
+
+    def test_mean_lifetime_of_uniform_distribution(self):
+        # CDF of a Uniform(0, 100) lifetime sampled densely.
+        times = np.linspace(1.0, 100.0, 200)
+        curve = make_curve(times, times / 100.0)
+        assert curve.mean_lifetime() == pytest.approx(50.0, rel=0.02)
+
+    def test_max_difference_and_relabel(self):
+        first = make_curve([0.0, 10.0], [0.0, 1.0], label="a")
+        second = make_curve([0.0, 10.0], [0.0, 0.5], label="b")
+        assert first.max_difference(second) == pytest.approx(0.5)
+        assert first.relabel("new").label == "new"
+
+    def test_no_overlap_rejected(self):
+        first = make_curve([0.0, 1.0], [0.0, 1.0])
+        second = make_curve([5.0, 6.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            first.max_difference(second)
+
+    def test_to_rows(self):
+        curve = make_curve([1.0, 2.0], [0.25, 0.75])
+        assert curve.to_rows() == [(1.0, 0.25), (2.0, 0.75)]
+        rows = curve.to_rows([1.5])
+        assert rows[0][1] == pytest.approx(0.5)
+
+
+class TestComparison:
+    def test_kolmogorov_distance_symmetry(self):
+        first = make_curve([0.0, 5.0, 10.0], [0.0, 0.6, 1.0])
+        second = make_curve([0.0, 5.0, 10.0], [0.0, 0.4, 1.0])
+        assert kolmogorov_distance(first, second) == pytest.approx(0.2)
+        assert kolmogorov_distance(second, first) == pytest.approx(0.2)
+
+    def test_stochastic_dominance(self):
+        shorter = make_curve([0.0, 5.0, 10.0], [0.0, 0.8, 1.0])
+        longer = make_curve([0.0, 5.0, 10.0], [0.0, 0.5, 0.9])
+        assert stochastically_dominates(longer, shorter)
+        assert not stochastically_dominates(shorter, longer)
+
+    def test_crossing_time(self):
+        curve = make_curve([0.0, 5.0, 10.0], [0.0, 0.5, 1.0], label="x")
+        assert crossing_time(curve, 0.5) == 5.0
+
+
+class TestConvergence:
+    def test_study_orders_and_reports(self):
+        reference = make_curve([0.0, 10.0], [0.0, 1.0], label="ref")
+
+        def solver(delta):
+            # A fake solver whose error is proportional to delta.
+            return make_curve([0.0, 10.0], [min(delta / 100.0, 1.0), 1.0], label=f"d{delta}")
+
+        study = delta_convergence_study(solver, [40.0, 20.0, 10.0], reference)
+        assert study.distances == pytest.approx((0.4, 0.2, 0.1))
+        assert study.is_monotonically_improving()
+        assert study.best_delta() == 10.0
+        assert study.rows()[0] == (40.0, pytest.approx(0.4))
+
+    def test_empty_deltas_rejected(self):
+        reference = make_curve([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            delta_convergence_study(lambda d: reference, [], reference)
+
+
+class TestReport:
+    def test_format_table_alignment_and_values(self):
+        text = format_table(["name", "value"], [["alpha", 1.5], ["b", 1200.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "alpha" in lines[2]
+        assert "1200" in lines[3]
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_format_series(self):
+        curves = [
+            make_curve([0.0, 10.0], [0.0, 1.0], label="first"),
+            make_curve([0.0, 10.0], [0.0, 0.5], label="second"),
+        ]
+        text = format_series(curves, [0.0, 5.0, 10.0], time_label="t", time_scale=1.0)
+        assert "first" in text and "second" in text
+        assert len(text.splitlines()) == 5

@@ -1,0 +1,93 @@
+"""Tests for the ideal battery and Peukert's law."""
+
+import numpy as np
+import pytest
+
+from repro.battery.ideal import IdealBattery
+from repro.battery.peukert import PeukertBattery, fit_peukert
+from repro.battery.profiles import ConstantLoad, SquareWaveLoad
+
+
+class TestIdealBattery:
+    def test_constant_load_lifetime(self):
+        battery = IdealBattery(7200.0)
+        assert battery.lifetime_constant(0.96) == pytest.approx(7500.0)
+
+    def test_square_wave_lifetime_follows_consumed_charge(self):
+        battery = IdealBattery(7200.0)
+        # 15 on-phases of 480 As each are needed.  For the fast wave the
+        # 15000th half-second on-phase ends at essentially 15000 s; for the
+        # slow wave the 15th 500 s on-phase ends at 14 * 1000 + 500 = 14500 s.
+        fast = battery.lifetime(SquareWaveLoad(0.96, frequency=1.0))
+        slow = battery.lifetime(SquareWaveLoad(0.96, frequency=0.001))
+        assert fast == pytest.approx(15000.0, rel=1e-3)
+        assert slow == pytest.approx(14500.0, rel=1e-6)
+        # Either way the delivered charge is exactly the capacity.
+        assert battery.delivered_capacity(0.96) == pytest.approx(7200.0)
+
+    def test_zero_load_never_empties(self):
+        battery = IdealBattery(100.0)
+        assert battery.lifetime(ConstantLoad(0.0)) is None
+
+    def test_delivered_capacity_is_load_independent(self):
+        battery = IdealBattery(3600.0)
+        assert battery.delivered_capacity(0.1) == pytest.approx(3600.0)
+        assert battery.delivered_capacity(10.0) == pytest.approx(3600.0)
+
+    def test_discharge_trajectory(self):
+        battery = IdealBattery(10.0)
+        result = battery.discharge(ConstantLoad(1.0), [0.0, 5.0, 10.0, 12.0])
+        assert np.allclose(result.available_charge, [10.0, 5.0, 0.0, 0.0])
+        assert result.lifetime == pytest.approx(10.0)
+        assert np.allclose(result.bound_charge, 0.0)
+        assert np.allclose(result.delivered_charge, [0.0, 5.0, 10.0, 10.0])
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            IdealBattery(0.0)
+
+
+class TestPeukert:
+    def test_reduces_to_ideal_for_b_equal_one(self):
+        battery = PeukertBattery(a=7200.0, b=1.0)
+        assert battery.lifetime_constant(2.0) == pytest.approx(3600.0)
+
+    def test_higher_loads_deliver_less_charge(self):
+        battery = PeukertBattery(a=7200.0, b=1.2)
+        low = battery.lifetime_constant(0.5) * 0.5
+        high = battery.lifetime_constant(2.0) * 2.0
+        assert high < low
+
+    def test_same_average_load_gives_same_lifetime(self):
+        # This is exactly the deficiency of Peukert's law the paper points out.
+        battery = PeukertBattery(a=7200.0, b=1.2)
+        fast = battery.lifetime(SquareWaveLoad(0.96, frequency=1.0), horizon=40000.0)
+        slow = battery.lifetime(SquareWaveLoad(0.96, frequency=0.001), horizon=40000.0)
+        assert fast == pytest.approx(slow, rel=1e-6)
+
+    def test_fit_recovers_parameters(self):
+        true = PeukertBattery(a=5000.0, b=1.3)
+        currents = np.array([0.25, 0.5, 1.0, 2.0, 4.0])
+        lifetimes = np.array([true.lifetime_constant(i) for i in currents])
+        fitted = fit_peukert(currents, lifetimes)
+        assert fitted.a == pytest.approx(5000.0, rel=1e-6)
+        assert fitted.b == pytest.approx(1.3, rel=1e-6)
+
+    def test_fit_requires_two_distinct_currents(self):
+        with pytest.raises(ValueError):
+            fit_peukert([1.0, 1.0], [100.0, 100.0])
+
+    def test_discharge_trajectory_reaches_zero(self):
+        battery = PeukertBattery(a=100.0, b=1.1)
+        life = battery.lifetime_constant(1.0)
+        result = battery.discharge(ConstantLoad(1.0), np.linspace(0.0, life * 1.2, 10))
+        assert result.available_charge[0] > 0
+        assert result.available_charge[-1] == pytest.approx(0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PeukertBattery(a=-1.0, b=1.2)
+        with pytest.raises(ValueError):
+            PeukertBattery(a=1.0, b=0.5)
+        with pytest.raises(ValueError):
+            PeukertBattery(a=1.0, b=1.2).lifetime_constant(0.0)

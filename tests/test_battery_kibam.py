@@ -1,0 +1,199 @@
+"""Tests for the analytical Kinetic Battery Model.
+
+Several tests check the model directly against the numbers of the paper
+(Table 1, Figure 2); others cross-check the closed-form stepping against an
+independent ODE integration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.ideal import IdealBattery
+from repro.battery.kibam import KiBaMState, KineticBatteryModel
+from repro.battery.parameters import KiBaMParameters, rao_battery_parameters
+from repro.battery.profiles import ConstantLoad, PiecewiseConstantLoad, SquareWaveLoad
+from repro.battery.units import minutes_from_seconds
+
+
+@pytest.fixture
+def paper_kibam(paper_battery):
+    return KineticBatteryModel(paper_battery)
+
+
+class TestBasics:
+    def test_initial_state_split(self, paper_kibam):
+        state = paper_kibam.initial_state()
+        assert state.available == pytest.approx(4500.0)
+        assert state.bound == pytest.approx(2700.0)
+        assert state.total == pytest.approx(7200.0)
+        assert not state.is_empty()
+
+    def test_initial_heights_are_equal(self, paper_kibam):
+        h1, h2 = paper_kibam.heights(paper_kibam.initial_state())
+        assert h1 == pytest.approx(h2)
+        assert h1 == pytest.approx(7200.0)
+
+    def test_charge_is_conserved_without_load(self, paper_kibam):
+        state = paper_kibam.step(paper_kibam.initial_state(), current=0.0, duration=1000.0)
+        assert state.total == pytest.approx(7200.0)
+
+    def test_total_charge_decreases_linearly_under_load(self, paper_kibam):
+        state = paper_kibam.step(paper_kibam.initial_state(), current=0.96, duration=100.0)
+        assert state.total == pytest.approx(7200.0 - 96.0)
+
+
+class TestTable1:
+    """Reproduction of the KiBaM column of Table 1."""
+
+    def test_continuous_lifetime_is_91_minutes(self, paper_kibam):
+        lifetime = paper_kibam.lifetime(ConstantLoad(0.96))
+        assert minutes_from_seconds(lifetime) == pytest.approx(91.0, abs=1.0)
+
+    @pytest.mark.parametrize("frequency", [1.0, 0.2])
+    def test_square_wave_lifetime_is_203_minutes(self, paper_kibam, frequency):
+        lifetime = paper_kibam.lifetime(SquareWaveLoad(0.96, frequency=frequency))
+        assert minutes_from_seconds(lifetime) == pytest.approx(203.0, abs=1.5)
+
+    def test_square_wave_lifetime_is_frequency_independent(self, paper_kibam):
+        fast = paper_kibam.lifetime(SquareWaveLoad(0.96, frequency=1.0))
+        slow = paper_kibam.lifetime(SquareWaveLoad(0.96, frequency=0.2))
+        assert fast == pytest.approx(slow, rel=5e-3)
+
+    def test_pulsed_load_outlasts_double_the_continuous_lifetime(self, paper_kibam):
+        # Recovery during the off periods makes the battery deliver more than
+        # the same energy drawn continuously.
+        continuous = paper_kibam.lifetime(ConstantLoad(0.96))
+        pulsed = paper_kibam.lifetime(SquareWaveLoad(0.96, frequency=1.0))
+        assert pulsed > 2.0 * continuous
+
+
+class TestFigure2:
+    def test_discharge_trajectory_shape(self, paper_kibam):
+        profile = SquareWaveLoad(0.96, frequency=0.001)
+        times = np.arange(0.0, 13001.0, 250.0)
+        result = paper_kibam.discharge(profile, times)
+        # Initial values match the well split.
+        assert result.available_charge[0] == pytest.approx(4500.0)
+        assert result.bound_charge[0] == pytest.approx(2700.0)
+        # The bound charge decreases monotonically.
+        assert np.all(np.diff(result.bound_charge) <= 1e-6)
+        # The available charge recovers during off periods: it is not monotone.
+        assert np.any(np.diff(result.available_charge) > 1e-6)
+        # The battery dies shortly after 12000 s (paper Figure 2).
+        assert result.lifetime is not None
+        assert 11000.0 < result.lifetime < 13500.0
+
+    def test_discharge_available_well_never_negative(self, paper_kibam):
+        profile = SquareWaveLoad(0.96, frequency=0.001)
+        result = paper_kibam.discharge(profile, np.linspace(0, 14000, 57))
+        assert np.all(result.available_charge >= -1e-9)
+        assert np.all(result.bound_charge >= -1e-9)
+
+
+class TestDegenerateCases:
+    def test_c_equal_one_matches_ideal_battery(self):
+        parameters = KiBaMParameters(capacity=1000.0, c=1.0, k=0.0)
+        kibam = KineticBatteryModel(parameters)
+        ideal = IdealBattery(1000.0)
+        profile = SquareWaveLoad(0.5, frequency=0.01)
+        assert kibam.lifetime(profile) == pytest.approx(ideal.lifetime(profile), rel=1e-9)
+
+    def test_k_zero_only_available_charge_is_delivered(self):
+        parameters = KiBaMParameters(capacity=1000.0, c=0.4, k=0.0)
+        kibam = KineticBatteryModel(parameters)
+        assert kibam.lifetime(ConstantLoad(1.0)) == pytest.approx(400.0)
+
+    def test_very_large_k_delivers_almost_everything(self):
+        parameters = KiBaMParameters(capacity=1000.0, c=0.4, k=10.0)
+        kibam = KineticBatteryModel(parameters)
+        assert kibam.lifetime(ConstantLoad(1.0)) == pytest.approx(1000.0, rel=0.01)
+
+    def test_zero_load_never_empties(self, paper_kibam):
+        assert paper_kibam.lifetime(ConstantLoad(0.0)) is None
+
+
+class TestRecovery:
+    def test_available_charge_recovers_during_idle(self, paper_kibam):
+        drained = paper_kibam.step(paper_kibam.initial_state(), current=0.96, duration=1000.0)
+        rested = paper_kibam.step(drained, current=0.0, duration=5000.0)
+        assert rested.available > drained.available
+        assert rested.bound < drained.bound
+        assert rested.total == pytest.approx(drained.total)
+
+    def test_heights_equalise_after_long_rest(self, paper_kibam):
+        drained = paper_kibam.step(paper_kibam.initial_state(), current=0.96, duration=2000.0)
+        rested = paper_kibam.step(drained, current=0.0, duration=10_000_000.0)
+        h1, h2 = paper_kibam.heights(rested)
+        assert h1 == pytest.approx(h2, rel=1e-6)
+
+    def test_time_to_empty_detected_within_segment(self, paper_kibam):
+        state = KiBaMState(available=10.0, bound=2000.0)
+        crossing = paper_kibam.time_to_empty(state, current=1.0, duration=100.0)
+        assert crossing is not None
+        assert 0.0 < crossing < 100.0
+        at_crossing = paper_kibam.step(state, 1.0, crossing)
+        assert at_crossing.available == pytest.approx(0.0, abs=1e-6)
+
+    def test_time_to_empty_none_when_surviving(self, paper_kibam):
+        crossing = paper_kibam.time_to_empty(paper_kibam.initial_state(), 0.96, 100.0)
+        assert crossing is None
+
+    def test_time_to_empty_zero_for_empty_state(self, paper_kibam):
+        assert paper_kibam.time_to_empty(KiBaMState(0.0, 100.0), 1.0, 10.0) == 0.0
+
+
+class TestOdeCrossCheck:
+    @pytest.mark.parametrize(
+        "profile",
+        [
+            ConstantLoad(0.96),
+            SquareWaveLoad(0.96, frequency=0.001),
+            PiecewiseConstantLoad([2000.0, 3000.0, 2000.0], [0.5, 0.0, 1.5]),
+        ],
+    )
+    def test_analytic_lifetime_matches_ode(self, paper_battery, profile):
+        model = KineticBatteryModel(paper_battery)
+        analytic = model.lifetime(profile)
+        ode = model.lifetime_ode(profile)
+        assert analytic is not None and ode is not None
+        assert analytic == pytest.approx(ode, rel=1e-4)
+
+    @given(
+        current=st.floats(min_value=0.3, max_value=3.0),
+        c=st.floats(min_value=0.2, max_value=0.95),
+        k=st.floats(min_value=1e-6, max_value=1e-3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_constant_load_analytic_matches_ode_property(self, current, c, k):
+        parameters = KiBaMParameters(capacity=2000.0, c=c, k=k)
+        model = KineticBatteryModel(parameters)
+        profile = ConstantLoad(current)
+        analytic = model.lifetime(profile)
+        ode = model.lifetime_ode(profile)
+        assert analytic == pytest.approx(ode, rel=1e-3)
+
+
+class TestInvariants:
+    @given(
+        duration=st.floats(min_value=0.1, max_value=5000.0),
+        current=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_step_conserves_total_charge_minus_consumption(self, duration, current):
+        model = KineticBatteryModel(rao_battery_parameters())
+        state = model.initial_state()
+        crossing = model.time_to_empty(state, current, duration)
+        if crossing is not None:
+            duration = crossing * 0.5
+        stepped = model.step(state, current, duration)
+        assert stepped.total == pytest.approx(state.total - current * duration, rel=1e-9, abs=1e-6)
+        assert stepped.available >= -1e-9
+        assert stepped.bound >= -1e-9
+
+    def test_negative_step_arguments_rejected(self, paper_kibam):
+        with pytest.raises(ValueError):
+            paper_kibam.step(paper_kibam.initial_state(), current=1.0, duration=-1.0)
+        with pytest.raises(ValueError):
+            paper_kibam.step(paper_kibam.initial_state(), current=-1.0, duration=1.0)

@@ -1,0 +1,126 @@
+"""Tests for the modified KiBaM and the parameter-fitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.battery.kibam import KineticBatteryModel
+from repro.battery.modified_kibam import ModifiedKineticBatteryModel
+from repro.battery.parameters import (
+    KiBaMParameters,
+    fit_c_from_capacities,
+    fit_k_to_lifetime,
+    rao_battery_parameters,
+)
+from repro.battery.profiles import ConstantLoad, SquareWaveLoad
+from repro.battery.units import minutes_from_seconds, seconds_from_minutes
+
+
+class TestKiBaMParameters:
+    def test_well_split(self):
+        parameters = KiBaMParameters(capacity=7200.0, c=0.625, k=4.5e-5)
+        assert parameters.available_capacity == pytest.approx(4500.0)
+        assert parameters.bound_capacity == pytest.approx(2700.0)
+
+    def test_from_mah(self):
+        parameters = KiBaMParameters.from_mah(2000.0, c=0.625, k_per_second=4.5e-5)
+        assert parameters.capacity == pytest.approx(7200.0)
+        assert parameters.capacity_mah == pytest.approx(2000.0)
+
+    def test_k_per_hour_matches_paper(self):
+        # The paper quotes k = 4.5e-5 /s = 1.96e-2 /h (their rounding is loose).
+        parameters = rao_battery_parameters()
+        assert parameters.k_per_hour == pytest.approx(0.162, rel=1e-2)
+
+    def test_k_prime(self):
+        parameters = KiBaMParameters(capacity=100.0, c=0.5, k=0.01)
+        assert parameters.k_prime == pytest.approx(0.04)
+        assert KiBaMParameters(capacity=100.0, c=1.0, k=0.0).k_prime == np.inf
+
+    def test_with_methods(self):
+        parameters = rao_battery_parameters()
+        assert parameters.with_capacity(100.0).capacity == 100.0
+        assert parameters.with_c(1.0).c == 1.0
+        assert parameters.with_k(0.0).k == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity": 0.0, "c": 0.5, "k": 0.0},
+        {"capacity": 10.0, "c": 0.0, "k": 0.0},
+        {"capacity": 10.0, "c": 1.5, "k": 0.0},
+        {"capacity": 10.0, "c": 0.5, "k": -1.0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            KiBaMParameters(**kwargs)
+
+
+class TestParameterFitting:
+    def test_fit_c_from_capacities(self):
+        assert fit_c_from_capacities(4500.0, 7200.0) == pytest.approx(0.625)
+
+    def test_fit_c_rejects_inverted_capacities(self):
+        with pytest.raises(ValueError):
+            fit_c_from_capacities(7200.0, 4500.0)
+
+    def test_fit_k_recovers_paper_constant(self):
+        # Fitting k so the 0.96 A lifetime is 91 minutes must give a value
+        # close to the paper's 4.5e-5 /s.
+        fitted = fit_k_to_lifetime(7200.0, 0.625, 0.96, seconds_from_minutes(91.0))
+        assert fitted == pytest.approx(4.5e-5, rel=0.05)
+
+    def test_fit_k_round_trip(self):
+        true_k = 2.3e-5
+        model = KineticBatteryModel(KiBaMParameters(capacity=7200.0, c=0.625, k=true_k))
+        lifetime = model.lifetime(ConstantLoad(0.96))
+        fitted = fit_k_to_lifetime(7200.0, 0.625, 0.96, lifetime)
+        assert fitted == pytest.approx(true_k, rel=1e-4)
+
+    def test_fit_k_rejects_unreachable_lifetime(self):
+        # Shorter than draining the available well alone, or longer than ideal.
+        with pytest.raises(ValueError):
+            fit_k_to_lifetime(7200.0, 0.625, 0.96, 1000.0)
+        with pytest.raises(ValueError):
+            fit_k_to_lifetime(7200.0, 0.625, 0.96, 10000.0)
+
+
+class TestModifiedKiBaM:
+    def test_rejects_single_well(self):
+        with pytest.raises(ValueError):
+            ModifiedKineticBatteryModel(KiBaMParameters(capacity=100.0, c=1.0, k=0.0))
+
+    def test_table1_continuous_lifetime(self, paper_battery):
+        model = ModifiedKineticBatteryModel(paper_battery)
+        lifetime = minutes_from_seconds(model.lifetime(ConstantLoad(0.96)))
+        assert lifetime == pytest.approx(89.0, abs=1.5)
+
+    @pytest.mark.parametrize("frequency", [1.0, 0.2])
+    def test_table1_square_wave_lifetime(self, paper_battery, frequency):
+        model = ModifiedKineticBatteryModel(paper_battery)
+        lifetime = minutes_from_seconds(model.lifetime(SquareWaveLoad(0.96, frequency=frequency)))
+        assert lifetime == pytest.approx(193.0, abs=2.5)
+
+    def test_recovers_less_than_plain_kibam(self, paper_battery):
+        plain = KineticBatteryModel(paper_battery)
+        modified = ModifiedKineticBatteryModel(paper_battery)
+        profile = SquareWaveLoad(0.96, frequency=0.2)
+        assert modified.lifetime(profile) < plain.lifetime(profile)
+
+    def test_discharge_trajectory(self, paper_battery):
+        model = ModifiedKineticBatteryModel(paper_battery)
+        times = np.linspace(0.0, 8000.0, 17)
+        result = model.discharge(SquareWaveLoad(0.96, frequency=0.001), times)
+        assert result.available_charge[0] == pytest.approx(4500.0, rel=1e-6)
+        assert np.all(np.diff(result.bound_charge) <= 1e-6)
+
+    def test_stochastic_lifetime_close_to_deterministic(self, paper_battery, rng):
+        model = ModifiedKineticBatteryModel(paper_battery)
+        profile = ConstantLoad(0.96)
+        deterministic = model.lifetime(profile)
+        stochastic = model.mean_stochastic_lifetime(profile, rng, n_runs=5)
+        # Under a continuous load there is little room for recovery, so the
+        # stochastic variant stays close to the deterministic solution.
+        assert stochastic == pytest.approx(deterministic, rel=0.1)
+
+    def test_stochastic_lifetime_requires_positive_slot(self, paper_battery, rng):
+        model = ModifiedKineticBatteryModel(paper_battery)
+        with pytest.raises(ValueError):
+            model.lifetime_stochastic(ConstantLoad(1.0), rng, slot_duration=0.0)

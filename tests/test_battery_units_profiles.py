@@ -1,0 +1,123 @@
+"""Tests for unit conversions and load profiles."""
+
+import numpy as np
+import pytest
+
+from repro.battery import units
+from repro.battery.profiles import ConstantLoad, PiecewiseConstantLoad, SquareWaveLoad
+
+
+class TestUnits:
+    def test_mah_coulomb_roundtrip(self):
+        assert units.coulombs_from_milliamp_hours(2000.0) == pytest.approx(7200.0)
+        assert units.milliamp_hours_from_coulombs(7200.0) == pytest.approx(2000.0)
+        assert units.milliamp_hours_from_coulombs(units.coulombs_from_milliamp_hours(123.4)) == pytest.approx(123.4)
+
+    def test_paper_capacity_conversions(self):
+        # The paper's 800 mAh cell phone battery is 2880 As.
+        assert units.coulombs_from_milliamp_hours(800.0) == pytest.approx(2880.0)
+
+    def test_time_conversions(self):
+        assert units.seconds_from_hours(2.0) == pytest.approx(7200.0)
+        assert units.hours_from_seconds(1800.0) == pytest.approx(0.5)
+        assert units.seconds_from_minutes(91.0) == pytest.approx(5460.0)
+        assert units.minutes_from_seconds(5460.0) == pytest.approx(91.0)
+
+    def test_rate_conversions_match_paper(self):
+        # k = 4.5e-5 /s corresponds to 1.96e-2 /h up to rounding in the paper.
+        assert units.per_hour_from_per_second(4.5e-5) == pytest.approx(0.162, rel=1e-3)
+        assert units.per_second_from_per_hour(units.per_hour_from_per_second(4.5e-5)) == pytest.approx(4.5e-5)
+
+    def test_current_conversion(self):
+        assert units.amperes_from_milliamperes(200.0) == pytest.approx(0.2)
+
+
+class TestConstantLoad:
+    def test_segments_cover_horizon(self):
+        load = ConstantLoad(0.5)
+        segments = list(load.segments(10.0))
+        assert segments == [(10.0, 0.5)]
+        assert load.current_at(3.0) == 0.5
+        assert load.mean_current(10.0) == pytest.approx(0.5)
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLoad(-1.0)
+
+
+class TestSquareWaveLoad:
+    def test_period_and_durations(self):
+        load = SquareWaveLoad(0.96, frequency=0.001)
+        assert load.period == pytest.approx(1000.0)
+        assert load.on_duration == pytest.approx(500.0)
+        assert load.off_duration == pytest.approx(500.0)
+
+    def test_current_at(self):
+        load = SquareWaveLoad(1.0, frequency=0.5, duty_cycle=0.5)
+        assert load.current_at(0.1) == 1.0
+        assert load.current_at(1.5) == 0.0
+        assert load.current_at(2.1) == 1.0
+
+    def test_start_with_off(self):
+        load = SquareWaveLoad(1.0, frequency=1.0, start_with_on=False)
+        assert load.current_at(0.1) == 0.0
+        assert load.current_at(0.6) == 1.0
+
+    def test_segments_sum_to_horizon(self):
+        load = SquareWaveLoad(0.96, frequency=0.3, duty_cycle=0.25)
+        segments = list(load.segments(10.0))
+        assert sum(duration for duration, _ in segments) == pytest.approx(10.0)
+
+    def test_mean_current_matches_duty_cycle(self):
+        load = SquareWaveLoad(2.0, frequency=1.0, duty_cycle=0.25)
+        assert load.mean_current(40.0) == pytest.approx(0.5)
+
+    def test_off_current(self):
+        load = SquareWaveLoad(1.0, frequency=1.0, current_off=0.2)
+        assert load.current_at(0.75) == pytest.approx(0.2)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"frequency": 0.0},
+        {"frequency": 1.0, "duty_cycle": 0.0},
+        {"frequency": 1.0, "duty_cycle": 1.0},
+        {"frequency": 1.0, "current_off": -0.1},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SquareWaveLoad(1.0, **kwargs)
+
+
+class TestPiecewiseConstantLoad:
+    def test_lookup_and_segments(self):
+        load = PiecewiseConstantLoad([1.0, 2.0, 1.0], [0.1, 0.0, 0.3])
+        assert load.current_at(0.5) == pytest.approx(0.1)
+        assert load.current_at(1.5) == pytest.approx(0.0)
+        assert load.current_at(3.5) == pytest.approx(0.3)
+        segments = list(load.segments(4.0))
+        assert sum(d for d, _ in segments) == pytest.approx(4.0)
+
+    def test_last_current_held_without_repeat(self):
+        load = PiecewiseConstantLoad([1.0], [0.2])
+        assert load.current_at(100.0) == pytest.approx(0.2)
+        segments = list(load.segments(3.0))
+        assert segments == [(1.0, 0.2), (2.0, 0.2)]
+
+    def test_repeating_pattern(self):
+        load = PiecewiseConstantLoad([1.0, 1.0], [1.0, 0.0], repeat=True)
+        assert load.current_at(2.5) == pytest.approx(1.0)
+        assert load.current_at(3.5) == pytest.approx(0.0)
+        assert load.mean_current(8.0) == pytest.approx(0.5)
+
+    def test_sampling(self):
+        load = PiecewiseConstantLoad([2.0, 2.0], [1.0, 3.0])
+        assert np.allclose(load.sample([0.5, 2.5]), [1.0, 3.0])
+
+    @pytest.mark.parametrize("durations,currents", [
+        ([], []),
+        ([1.0, -1.0], [0.0, 0.0]),
+        ([1.0], [-0.5]),
+        ([1.0, 2.0], [0.5]),
+    ])
+    def test_invalid_inputs_rejected(self, durations, currents):
+        with pytest.raises(ValueError):
+            PiecewiseConstantLoad(durations, currents)

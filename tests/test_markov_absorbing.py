@@ -1,0 +1,86 @@
+"""Tests for absorbing-state analysis and first-passage times."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.markov.absorbing import (
+    absorbing_states,
+    absorption_probabilities,
+    absorption_time_cdf,
+    expected_absorption_time,
+    first_passage_time_cdf,
+)
+
+
+@pytest.fixture
+def absorbing_chain():
+    """0 -> 1 -> 2 with rates 2 and 1; state 2 is absorbing."""
+    return np.array(
+        [
+            [-2.0, 2.0, 0.0],
+            [0.0, -1.0, 1.0],
+            [0.0, 0.0, 0.0],
+        ]
+    )
+
+
+class TestAbsorbingStates:
+    def test_detection(self, absorbing_chain):
+        assert list(absorbing_states(absorbing_chain)) == [2]
+
+    def test_sparse_detection(self, absorbing_chain):
+        assert list(absorbing_states(sp.csr_matrix(absorbing_chain))) == [2]
+
+
+class TestAbsorptionTimeCdf:
+    def test_hypoexponential_absorption(self, absorbing_chain):
+        # Absorption time is the sum of Exp(2) and Exp(1): CDF known in closed form.
+        times = np.array([0.5, 1.0, 2.0, 5.0])
+        expected = 1.0 - 2.0 * np.exp(-times) + np.exp(-2.0 * times)
+        cdf = absorption_time_cdf(absorbing_chain, [1.0, 0.0, 0.0], [2], times)
+        assert np.allclose(cdf, expected, atol=1e-8)
+
+    def test_monotone_nondecreasing(self, absorbing_chain):
+        times = np.linspace(0.0, 10.0, 21)
+        cdf = absorption_time_cdf(absorbing_chain, [1.0, 0.0, 0.0], [2], times)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-4)
+
+
+class TestFirstPassage:
+    def test_first_passage_equals_absorption_for_absorbing_target(self, absorbing_chain):
+        times = [0.5, 1.5, 3.0]
+        direct = absorption_time_cdf(absorbing_chain, [1.0, 0.0, 0.0], [2], times)
+        via_first_passage = first_passage_time_cdf(absorbing_chain, [1.0, 0.0, 0.0], [2], times)
+        assert np.allclose(direct, via_first_passage, atol=1e-10)
+
+    def test_first_passage_in_irreducible_chain(self, three_state_generator):
+        # First passage to state 2 starting from state 0: exponential-phase
+        # mixture; just verify it is a proper, increasing CDF reaching 1.
+        times = np.linspace(0.1, 30.0, 40)
+        cdf = first_passage_time_cdf(three_state_generator, [1.0, 0.0, 0.0], [2], times)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-5)
+
+    def test_sparse_input(self, three_state_generator):
+        times = [1.0, 5.0]
+        dense = first_passage_time_cdf(three_state_generator, [1.0, 0.0, 0.0], [2], times)
+        sparse = first_passage_time_cdf(
+            sp.csr_matrix(three_state_generator), [1.0, 0.0, 0.0], [2], times
+        )
+        assert np.allclose(dense, sparse, atol=1e-10)
+
+
+class TestEventualAbsorption:
+    def test_probabilities_are_one_when_absorption_certain(self, absorbing_chain):
+        probabilities = absorption_probabilities(absorbing_chain)
+        assert np.allclose(probabilities, 1.0)
+
+    def test_expected_absorption_time(self, absorbing_chain):
+        expected = expected_absorption_time(absorbing_chain, [1.0, 0.0, 0.0])
+        assert expected == pytest.approx(0.5 + 1.0)
+
+    def test_expected_absorption_time_from_later_state(self, absorbing_chain):
+        expected = expected_absorption_time(absorbing_chain, [0.0, 1.0, 0.0])
+        assert expected == pytest.approx(1.0)

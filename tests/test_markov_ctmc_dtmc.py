@@ -1,0 +1,83 @@
+"""Tests for the CTMC and DTMC façade classes."""
+
+import numpy as np
+import pytest
+
+from repro.markov.ctmc import CTMC
+from repro.markov.dtmc import DTMC
+
+
+class TestDTMC:
+    def test_rejects_non_stochastic_matrix(self):
+        with pytest.raises(ValueError):
+            DTMC(np.array([[0.5, 0.2], [0.0, 1.0]]))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            DTMC(np.array([[1.5, -0.5], [0.0, 1.0]]))
+
+    def test_step_evolves_distribution(self):
+        chain = DTMC(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        distribution = chain.step(np.array([1.0, 0.0]), n_steps=3)
+        assert np.allclose(distribution, [0.0, 1.0])
+
+    def test_stationary_distribution(self):
+        chain = DTMC(np.array([[0.5, 0.5], [0.25, 0.75]]))
+        pi = chain.stationary_distribution()
+        assert np.allclose(pi, pi @ chain.transition_matrix)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_sample_path_length_and_range(self, rng):
+        chain = DTMC(np.array([[0.1, 0.9], [0.6, 0.4]]))
+        path = chain.sample_path(0, 20, rng)
+        assert path.shape == (21,)
+        assert path[0] == 0
+        assert np.all((path >= 0) & (path < 2))
+
+    def test_state_names_default(self):
+        chain = DTMC(np.eye(3))
+        assert chain.state_names == ["0", "1", "2"]
+
+
+class TestCTMC:
+    def test_default_initial_distribution(self, three_state_generator):
+        chain = CTMC(three_state_generator)
+        assert np.allclose(chain.initial_distribution, [1.0, 0.0, 0.0])
+
+    def test_state_name_lookup(self, three_state_generator):
+        chain = CTMC(three_state_generator, state_names=["a", "b", "c"])
+        assert chain.state_index("b") == 1
+        with pytest.raises(KeyError):
+            chain.state_index("d")
+
+    def test_exit_rates_and_absorbing(self):
+        generator = np.array([[-2.0, 2.0], [0.0, 0.0]])
+        chain = CTMC(generator)
+        assert np.allclose(chain.exit_rates(), [2.0, 0.0])
+        assert not chain.is_absorbing(0)
+        assert chain.is_absorbing(1)
+
+    def test_embedded_and_uniformized_chains(self, three_state_generator):
+        chain = CTMC(three_state_generator)
+        embedded = chain.embedded_dtmc()
+        assert np.allclose(embedded.transition_matrix.sum(axis=1), 1.0)
+        uniformized = chain.uniformized_dtmc()
+        assert np.allclose(uniformized.transition_matrix.sum(axis=1), 1.0)
+
+    def test_transient_and_steady_state_agree_in_the_limit(self, three_state_generator):
+        chain = CTMC(three_state_generator)
+        late = chain.transient_distribution(500.0)
+        assert np.allclose(late, chain.steady_state(), atol=1e-6)
+
+    def test_probability_in(self, three_state_generator):
+        chain = CTMC(three_state_generator)
+        total = chain.probability_in([0, 1, 2], 0.7)
+        assert total == pytest.approx(1.0, abs=1e-8)
+
+    def test_invalid_initial_distribution_rejected(self, three_state_generator):
+        with pytest.raises(ValueError):
+            CTMC(three_state_generator, initial_distribution=[0.5, 0.2, 0.2])
+
+    def test_mismatched_state_names_rejected(self, three_state_generator):
+        with pytest.raises(ValueError):
+            CTMC(three_state_generator, state_names=["only", "two"])

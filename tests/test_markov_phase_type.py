@@ -1,0 +1,95 @@
+"""Tests for phase-type distributions."""
+
+import numpy as np
+import pytest
+
+from repro.markov.phase_type import PhaseTypeDistribution, erlang, exponential, hyperexponential
+
+
+class TestExponential:
+    def test_moments(self):
+        distribution = exponential(2.0)
+        assert distribution.mean == pytest.approx(0.5)
+        assert distribution.variance == pytest.approx(0.25)
+
+    def test_cdf_matches_closed_form(self):
+        distribution = exponential(3.0)
+        xs = np.array([0.0, 0.1, 0.5, 2.0])
+        assert np.allclose(distribution.cdf(xs), 1.0 - np.exp(-3.0 * xs), atol=1e-10)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            exponential(0.0)
+
+
+class TestErlang:
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_moments(self, k):
+        rate = 4.0
+        distribution = erlang(k, rate)
+        assert distribution.mean == pytest.approx(k / rate)
+        assert distribution.variance == pytest.approx(k / rate**2)
+
+    def test_squared_coefficient_of_variation_decreases(self):
+        # Erlang-K approaches a deterministic value: scv = 1/K.
+        scvs = []
+        for k in (1, 2, 4, 8):
+            distribution = erlang(k, k * 2.0)  # keep the mean fixed at 0.5
+            scvs.append(distribution.variance / distribution.mean**2)
+        assert np.allclose(scvs, [1.0, 0.5, 0.25, 0.125])
+        assert all(a > b for a, b in zip(scvs, scvs[1:]))
+
+    def test_cdf_matches_scipy(self):
+        from scipy.stats import erlang as scipy_erlang
+
+        distribution = erlang(3, 2.0)
+        xs = np.linspace(0.1, 4.0, 7)
+        assert np.allclose(distribution.cdf(xs), scipy_erlang.cdf(xs, 3, scale=0.5), atol=1e-8)
+
+    def test_pdf_matches_scipy(self):
+        from scipy.stats import erlang as scipy_erlang
+
+        distribution = erlang(2, 1.5)
+        xs = np.linspace(0.1, 4.0, 5)
+        assert np.allclose(distribution.pdf(xs), scipy_erlang.pdf(xs, 2, scale=1 / 1.5), atol=1e-8)
+
+    def test_sampling_mean(self, rng):
+        distribution = erlang(3, 6.0)
+        samples = distribution.sample(rng, size=3000)
+        assert samples.mean() == pytest.approx(0.5, rel=0.1)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            erlang(0, 1.0)
+
+
+class TestHyperexponential:
+    def test_mean(self):
+        distribution = hyperexponential([0.4, 0.6], [1.0, 2.0])
+        assert distribution.mean == pytest.approx(0.4 / 1.0 + 0.6 / 2.0)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            hyperexponential([0.4, 0.4], [1.0, 2.0])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            hyperexponential([0.5, 0.5], [1.0, -2.0])
+
+
+class TestPhaseTypeValidation:
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTypeDistribution(alpha=np.array([0.5, 0.2]), subgenerator=-np.eye(2))
+
+    def test_positive_row_sum_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTypeDistribution(alpha=np.array([1.0]), subgenerator=np.array([[1.0]]))
+
+    def test_cdf_zero_below_support(self):
+        assert erlang(2, 1.0).cdf(-1.0) == 0.0
+        assert erlang(2, 1.0).pdf(-1.0) == 0.0
+
+    def test_moment_order_validation(self):
+        with pytest.raises(ValueError):
+            erlang(2, 1.0).moment(0)

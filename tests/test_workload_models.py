@@ -1,0 +1,212 @@
+"""Tests for the workload models (base container, builder, catalog, paper models)."""
+
+import numpy as np
+import pytest
+
+from repro.battery.units import SECONDS_PER_HOUR
+from repro.workload.base import WorkloadModel
+from repro.workload.builder import WorkloadBuilder
+from repro.workload.burst import burst_workload
+from repro.workload.catalog import available_workloads, get_workload, register_workload
+from repro.workload.onoff import onoff_workload
+from repro.workload.simple import simple_workload
+
+
+class TestWorkloadModel:
+    def test_validation_rejects_bad_generator(self):
+        with pytest.raises(Exception):
+            WorkloadModel(
+                state_names=("a", "b"),
+                generator=np.array([[1.0, -1.0], [0.0, 0.0]]),
+                currents=np.array([0.0, 0.0]),
+                initial_distribution=np.array([1.0, 0.0]),
+            )
+
+    def test_validation_rejects_negative_currents(self):
+        with pytest.raises(ValueError):
+            WorkloadModel(
+                state_names=("a", "b"),
+                generator=np.array([[-1.0, 1.0], [1.0, -1.0]]),
+                currents=np.array([-0.1, 0.0]),
+                initial_distribution=np.array([1.0, 0.0]),
+            )
+
+    def test_state_lookup_and_current(self, simple_model):
+        assert simple_model.state_index("send") == 1
+        assert simple_model.current_of("send") == pytest.approx(0.2)
+        with pytest.raises(KeyError):
+            simple_model.state_index("unknown")
+
+    def test_with_initial_state(self, simple_model):
+        moved = simple_model.with_initial_state("sleep")
+        assert moved.initial_distribution[moved.state_index("sleep")] == 1.0
+        # the original is unchanged (frozen dataclass semantics)
+        assert simple_model.initial_distribution[simple_model.state_index("idle")] == 1.0
+
+    def test_scaled_time(self, simple_model):
+        doubled = simple_model.scaled_time(2.0)
+        assert np.allclose(doubled.generator, 2.0 * simple_model.generator)
+        with pytest.raises(ValueError):
+            simple_model.scaled_time(0.0)
+
+    def test_to_ctmc_roundtrip(self, simple_model):
+        ctmc = simple_model.to_ctmc()
+        assert ctmc.n_states == 3
+        assert np.allclose(ctmc.initial_distribution, simple_model.initial_distribution)
+
+
+class TestBuilder:
+    def test_builds_hourly_rates_in_si_units(self):
+        builder = WorkloadBuilder(time_unit="hours")
+        builder.add_state("idle", current_ma=8.0)
+        builder.add_state("send", current_ma=200.0)
+        builder.add_transition("idle", "send", rate=2.0)
+        builder.add_transition("send", "idle", rate=6.0)
+        model = builder.initial_state("idle").build()
+        assert model.generator[0, 1] == pytest.approx(2.0 / SECONDS_PER_HOUR)
+        assert model.currents[1] == pytest.approx(0.2)
+
+    def test_duplicate_state_rejected(self):
+        builder = WorkloadBuilder()
+        builder.add_state("a", current_a=0.0)
+        with pytest.raises(ValueError):
+            builder.add_state("a", current_a=0.1)
+
+    def test_unknown_transition_states_rejected(self):
+        builder = WorkloadBuilder()
+        builder.add_state("a", current_a=0.0)
+        builder.add_transition("a", "b", rate=1.0)
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_requires_exactly_one_current_spec(self):
+        builder = WorkloadBuilder()
+        with pytest.raises(ValueError):
+            builder.add_state("a", current_ma=1.0, current_a=0.001)
+        with pytest.raises(ValueError):
+            builder.add_state("b")
+
+    def test_self_loop_rejected(self):
+        builder = WorkloadBuilder()
+        builder.add_state("a", current_a=0.0)
+        with pytest.raises(ValueError):
+            builder.add_transition("a", "a", rate=1.0)
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadBuilder().build()
+
+
+class TestOnOffModel:
+    def test_basic_structure(self):
+        model = onoff_workload(frequency=1.0, erlang_k=1)
+        assert model.n_states == 2
+        assert model.state_names == ("on_1", "off_1")
+        assert model.generator[0, 1] == pytest.approx(2.0)
+        assert model.currents[0] == pytest.approx(0.96)
+        assert model.currents[1] == 0.0
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_erlang_phase_rate(self, k):
+        frequency = 0.5
+        model = onoff_workload(frequency=frequency, erlang_k=k)
+        assert model.n_states == 2 * k
+        # Every state is left with rate 2 f K.
+        assert np.allclose(-np.diag(model.generator), 2.0 * frequency * k)
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_mean_cycle_frequency(self, k):
+        # Expected on-time + off-time = 1/f, i.e. the workload toggles with
+        # frequency f on average.
+        frequency = 0.25
+        model = onoff_workload(frequency=frequency, erlang_k=k)
+        steady = model.steady_state()
+        assert steady.sum() == pytest.approx(1.0)
+        # Time in "on" states is half the cycle for a symmetric model.
+        on_probability = steady[:k].sum()
+        assert on_probability == pytest.approx(0.5)
+
+    def test_mean_current_is_half_the_on_current(self):
+        model = onoff_workload(frequency=1.0, erlang_k=2, current_on=0.96)
+        assert model.mean_current() == pytest.approx(0.48)
+
+    def test_start_in_off(self):
+        model = onoff_workload(frequency=1.0, start_in_on=False)
+        assert model.initial_distribution[model.state_index("off_1")] == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            onoff_workload(frequency=0.0)
+        with pytest.raises(ValueError):
+            onoff_workload(frequency=1.0, erlang_k=0)
+        with pytest.raises(ValueError):
+            onoff_workload(frequency=1.0, current_on=-1.0)
+
+
+class TestSimpleModel:
+    def test_states_and_currents(self, simple_model):
+        assert simple_model.state_names == ("idle", "send", "sleep")
+        assert np.allclose(simple_model.currents, [0.008, 0.2, 0.0])
+
+    def test_rates_match_section_4_3(self, simple_model):
+        per_hour = simple_model.generator * SECONDS_PER_HOUR
+        idle, send, sleep = 0, 1, 2
+        assert per_hour[idle, send] == pytest.approx(2.0)
+        assert per_hour[idle, sleep] == pytest.approx(1.0)
+        assert per_hour[send, idle] == pytest.approx(6.0)
+        assert per_hour[sleep, send] == pytest.approx(2.0)
+
+    def test_steady_state_sending_probability_is_25_percent(self, simple_model):
+        assert simple_model.probability_in(["send"]) == pytest.approx(0.25)
+
+    def test_starts_idle(self, simple_model):
+        assert simple_model.initial_distribution[simple_model.state_index("idle")] == 1.0
+
+    def test_mean_send_duration_is_ten_minutes(self, simple_model):
+        send = simple_model.state_index("send")
+        mean_sojourn_seconds = 1.0 / (-simple_model.generator[send, send])
+        assert mean_sojourn_seconds == pytest.approx(600.0)
+
+
+class TestBurstModel:
+    def test_states(self, burst_model):
+        assert burst_model.state_names == ("sleep", "off-idle", "on-idle", "off-send", "on-send")
+
+    def test_sending_probability_matches_simple_model(self, burst_model, simple_model):
+        # The paper chooses lambda_burst = 182 /h so that the steady-state
+        # sending probabilities of the two models coincide (0.25).
+        burst_probability = burst_model.probability_in(["on-send", "off-send"])
+        simple_probability = simple_model.probability_in(["send"])
+        assert burst_probability == pytest.approx(simple_probability, abs=2e-3)
+
+    def test_sleep_probability_is_higher_than_in_simple_model(self, burst_model, simple_model):
+        assert burst_model.probability_in(["sleep"]) > simple_model.probability_in(["sleep"])
+
+    def test_mean_current_is_lower_than_simple_model(self, burst_model, simple_model):
+        # More sleep at the same send probability means a lower average draw.
+        assert burst_model.mean_current() < simple_model.mean_current()
+
+    def test_burst_arrival_rate_dominates(self, burst_model):
+        on_idle = burst_model.state_index("on-idle")
+        on_send = burst_model.state_index("on-send")
+        assert burst_model.generator[on_idle, on_send] * SECONDS_PER_HOUR == pytest.approx(182.0)
+
+
+class TestCatalog:
+    def test_available_names(self):
+        names = available_workloads()
+        assert {"onoff", "simple", "burst"}.issubset(names)
+
+    def test_get_with_arguments(self):
+        model = get_workload("onoff", frequency=2.0, erlang_k=3)
+        assert model.n_states == 6
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_workload("does-not-exist")
+
+    def test_register_custom_and_reject_duplicates(self):
+        register_workload("custom-test-model", lambda: simple_workload())
+        assert "custom-test-model" in available_workloads()
+        with pytest.raises(ValueError):
+            register_workload("simple", simple_workload)
