@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import KiBaMParameters, burst_workload, compute_lifetime_distribution, simple_workload
+from repro import KiBaMParameters, burst_workload, simple_workload
 from repro.analysis.comparison import crossing_time, stochastically_dominates
 from repro.analysis.report import format_series
+from repro.engine import LifetimeProblem, ScenarioBatch
 
 
 def main() -> None:
@@ -28,13 +29,21 @@ def main() -> None:
     times = np.linspace(1.0, 30.0, 59) * 3600.0
     delta = 10.0 * 3.6  # 10 mAh reward quantum
 
-    curves = {}
-    for name, workload in (("simple", simple_workload()), ("burst", burst_workload())):
+    workloads = {"simple": simple_workload(), "burst": burst_workload()}
+    for name, workload in workloads.items():
         print(f"{name:>7s} model: mean current {workload.mean_current() * 1000:6.1f} mA, "
               f"sleep probability {workload.probability_in(['sleep']):.2f}")
-        curves[name] = compute_lifetime_distribution(
-            workload, battery, delta=delta, times=times, label=f"{name} model"
+
+    # Both strategies, solved through the engine as one scenario batch.
+    batch = ScenarioBatch(
+        LifetimeProblem(
+            workload=workload, battery=battery, times=times, delta=delta,
+            label=f"{name} model",
         )
+        for name, workload in workloads.items()
+    )
+    results = batch.run("mrm-uniformization")
+    curves = {name: result.distribution for name, result in zip(workloads, results)}
 
     print()
     sample_times = np.arange(5.0, 31.0, 5.0) * 3600.0

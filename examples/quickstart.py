@@ -2,9 +2,11 @@
 """Quickstart: compute a battery lifetime distribution in a few lines.
 
 This example builds the paper's 800 mAh cell-phone battery and the simple
-three-state workload (idle / send / sleep), computes the lifetime
-distribution with the Markovian approximation, cross-checks it against
-Monte-Carlo simulation and prints both curves.
+three-state workload (idle / send / sleep), describes the lifetime question
+once as an engine :class:`~repro.engine.LifetimeProblem`, solves it with
+the Markovian approximation, cross-checks it against Monte-Carlo simulation
+and prints both curves.  (See ``examples/engine_quickstart.py`` for a tour
+of the full engine API.)
 
 Run with::
 
@@ -15,15 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    KiBaMParameters,
-    KineticBatteryModel,
-    compute_lifetime_distribution,
-    simple_workload,
-    simulate_lifetime_distribution,
-)
+from repro import KiBaMParameters, simple_workload
 from repro.analysis.report import format_series
-from repro.analysis.distribution import LifetimeDistribution
+from repro.engine import LifetimeProblem, solve_lifetime
 
 
 def main() -> None:
@@ -39,29 +35,33 @@ def main() -> None:
           f"{battery.capacity / workload.mean_current() / 3600:.1f} h")
     print()
 
-    # 3. The lifetime distribution via the Markovian approximation
-    #    (step size 10 mAh = 36 As).
-    times = np.linspace(1.0, 30.0, 30) * 3600.0
-    approximation = compute_lifetime_distribution(
-        workload, battery, delta=36.0, times=times, label="approximation (10 mAh)"
+    # 3. The question: Pr{battery empty at t} on a 30-hour grid; delta is
+    #    the Markovian approximation's step size (10 mAh = 36 As).
+    problem = LifetimeProblem(
+        workload=workload,
+        battery=battery,
+        times=np.linspace(1.0, 30.0, 30) * 3600.0,
+        delta=36.0,
+        n_runs=1000,
+        seed=1,
     )
 
-    # 4. Cross-check with 1000 simulated discharge runs.
-    simulation_result = simulate_lifetime_distribution(
-        workload, KineticBatteryModel(battery), n_runs=1000, seed=1
+    # 4. Two interchangeable answers from the same problem object.
+    approximation = solve_lifetime(
+        problem.with_label("approximation (10 mAh)"), "mrm-uniformization"
     )
-    simulation = LifetimeDistribution(
-        times=times,
-        probabilities=simulation_result.cdf(times),
-        label="simulation (1000 runs)",
-    )
+    simulation = solve_lifetime(problem, "monte-carlo")
 
-    print(format_series([approximation, simulation], times, time_label="t (h)", time_scale=3600.0))
+    print(format_series(
+        [approximation.distribution, simulation.distribution],
+        problem.times, time_label="t (h)", time_scale=3600.0,
+    ))
     print()
     print(f"median lifetime (approximation): {approximation.quantile(0.5) / 3600:.1f} h")
-    print(f"mean lifetime   (simulation):    {simulation_result.mean_lifetime / 3600:.1f} h")
+    print(f"mean lifetime   (simulation):    "
+          f"{simulation.diagnostics['mean_lifetime_seconds'] / 3600:.1f} h")
     print(f"probability the battery survives a 20 h day: "
-          f"{1.0 - approximation.probability_empty_at(20 * 3600.0):.2f}")
+          f"{1.0 - approximation.distribution.probability_empty_at(20 * 3600.0):.2f}")
 
 
 if __name__ == "__main__":

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import KiBaMParameters, WorkloadBuilder, compute_lifetime_distribution
+from repro import KiBaMParameters, WorkloadBuilder
 from repro.analysis.report import format_table
+from repro.engine import LifetimeProblem, ScenarioBatch
 
 
 def sensor_workload(measurements_per_hour: float):
@@ -52,16 +53,21 @@ def main() -> None:
     deployment = 7 * 24 * 3600.0  # one week
     times = np.linspace(0.1, 1.6, 31) * deployment
 
-    rows = []
-    for measurements_per_hour in (6.0, 12.0, 30.0, 60.0):
-        workload = sensor_workload(measurements_per_hour)
-        curve = compute_lifetime_distribution(
-            workload,
-            battery,
-            delta=5.0 * 3.6,  # 5 mAh quantum
-            times=times,
-            label=f"{measurements_per_hour:g}/h",
+    duty_cycles = (6.0, 12.0, 30.0, 60.0)
+    workloads = {rate: sensor_workload(rate) for rate in duty_cycles}
+    # One engine batch over the duty-cycle scenarios (5 mAh quantum).
+    batch = ScenarioBatch(
+        LifetimeProblem(
+            workload=workload, battery=battery, times=times, delta=5.0 * 3.6,
+            label=f"{rate:g}/h",
         )
+        for rate, workload in workloads.items()
+    )
+    results = batch.run("mrm-uniformization")
+
+    rows = []
+    for (measurements_per_hour, workload), result in zip(workloads.items(), results):
+        curve = result.distribution
         survival = 1.0 - float(curve.probability_empty_at(deployment))
         if curve.probabilities[-1] >= 0.5:
             median_days = f"{curve.quantile(0.5) / 86400.0:.1f}"

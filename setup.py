@@ -1,8 +1,9 @@
 """Setuptools shim.
 
 The project metadata lives in ``pyproject.toml``; this file only exists so
-that legacy (non-PEP-517) editable installs work in offline environments
-where the ``wheel`` package is unavailable.
+that legacy (non-PEP-517) editable installs (``python setup.py develop``)
+work in offline environments where the ``wheel`` package is unavailable.
+Running the library without installing works too: ``PYTHONPATH=src``.
 """
 
 from setuptools import setup

@@ -7,38 +7,73 @@ This library reproduces the system described in
 
 It combines the Kinetic Battery Model (KiBaM) with stochastic CTMC workload
 models into a reward-inhomogeneous Markov reward model (the *KiBaMRM*) and
-computes the distribution of the battery lifetime with the paper's
-Markovian-approximation algorithm, alongside Monte-Carlo simulation and an
-exact uniformisation-based algorithm for the single-well case.
+computes the distribution of the battery lifetime.
+
+The recommended entry point is the **unified solver engine**
+(:mod:`repro.engine`): describe the lifetime question once as a
+:class:`~repro.engine.LifetimeProblem` and hand it to any of the
+registered, interchangeable backends --
+
+* ``analytic`` -- the exact occupation-time algorithm (two-level-current
+  workloads without well-to-well transfer),
+* ``mrm-uniformization`` -- the paper's Markovian approximation on the
+  discretised, sparse expanded CTMC,
+* ``monte-carlo`` -- trajectory simulation with the analytic KiBaM,
+* ``auto`` -- dispatches among them by problem structure and size.
+
+Parameter sweeps go through :class:`~repro.engine.ScenarioBatch`, which
+shares chain builds, uniformised matrices and Poisson windows across the
+scenarios and propagates transfer-free capacity sweeps as one blocked pass.
 
 Quick start
 -----------
->>> from repro import (KiBaMParameters, simple_workload,
-...                    compute_lifetime_distribution)
->>> battery = KiBaMParameters.from_mah(800.0, c=0.625, k_per_second=4.5e-5)
->>> workload = simple_workload()
->>> curve = compute_lifetime_distribution(workload, battery, delta=25.0 * 3.6)
+>>> import numpy as np
+>>> from repro import KiBaMParameters, simple_workload
+>>> from repro.engine import LifetimeProblem, solve_lifetime
+>>> problem = LifetimeProblem(
+...     workload=simple_workload(),
+...     battery=KiBaMParameters.from_mah(800.0, c=0.625, k_per_second=4.5e-5),
+...     times=np.linspace(1.0, 30.0, 30) * 3600.0,
+...     delta=25.0 * 3.6,
+... )
+>>> curve = solve_lifetime(problem, "auto").distribution
 >>> float(curve.probability_empty_at(20 * 3600)) > 0.5
 True
 
 Sub-packages
 ------------
+``repro.engine``
+    The unified lifetime-solver layer: problems, results, the solver
+    registry, batched scenario execution and deterministic-profile helpers.
 ``repro.battery``
     KiBaM, modified KiBaM, Peukert's law, ideal battery, load profiles.
 ``repro.workload``
     CTMC workload models (on/off, simple, burst) and a builder.
 ``repro.markov``
-    CTMC substrate: uniformisation, Fox--Glynn, steady state, phase types.
+    CTMC substrate: sparse-first uniformisation (with the reusable
+    :class:`~repro.markov.uniformization.TransientPropagator`), memoised
+    Fox--Glynn windows, steady state, phase types.
 ``repro.reward``
     Markov reward models, Sericola's exact performability algorithm.
 ``repro.core``
-    The KiBaMRM and the Markovian-approximation lifetime solver.
+    The KiBaMRM and its discretisation into the expanded CTMC.
 ``repro.simulation``
     Trajectory-driven Monte-Carlo lifetime simulation.
 ``repro.analysis``
     Result containers, comparison metrics, reporting helpers.
 ``repro.experiments``
-    Reproduction drivers for every table and figure of the paper.
+    Reproduction drivers for every table and figure of the paper; all of
+    them route through :mod:`repro.engine`.
+
+Deprecated wiring
+-----------------
+Before the engine existed, callers wired the layers by hand
+(:class:`repro.core.LifetimeSolver` + :func:`compute_lifetime_distribution`
+for the approximation, :func:`simulate_lifetime_distribution` for
+Monte-Carlo, :func:`repro.reward.occupation.two_level_lifetime_cdf` for the
+exact curves).  Those APIs remain available for backwards compatibility,
+but new code -- and all experiments, examples and benchmarks in this
+repository -- should go through :mod:`repro.engine` instead.
 """
 
 from repro.analysis import LifetimeDistribution
@@ -59,6 +94,12 @@ from repro.core import (
     compute_lifetime_distribution,
     lifetime_distribution,
 )
+from repro.engine import (
+    LifetimeProblem,
+    LifetimeResult,
+    ScenarioBatch,
+    solve_lifetime,
+)
 from repro.simulation import simulate_lifetime_distribution
 from repro.workload import (
     WorkloadBuilder,
@@ -69,7 +110,7 @@ from repro.workload import (
     simple_workload,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConstantLoad",
@@ -78,10 +119,13 @@ __all__ = [
     "KiBaMRM",
     "KineticBatteryModel",
     "LifetimeDistribution",
+    "LifetimeProblem",
+    "LifetimeResult",
     "LifetimeSolver",
     "ModifiedKineticBatteryModel",
     "PeukertBattery",
     "PiecewiseConstantLoad",
+    "ScenarioBatch",
     "SquareWaveLoad",
     "WorkloadBuilder",
     "WorkloadModel",
@@ -93,5 +137,6 @@ __all__ = [
     "rao_battery_parameters",
     "simple_workload",
     "simulate_lifetime_distribution",
+    "solve_lifetime",
     "__version__",
 ]

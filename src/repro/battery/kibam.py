@@ -123,11 +123,22 @@ class KineticBatteryModel(Battery):
             # Degenerate cases: a single well (c = 1) or two disconnected
             # wells (k = 0); either way the available charge drains linearly.
             return y1 - current * elapsed
+        # The height difference relaxes as
+        #   delta(t) = delta_inf + (delta0 - delta_inf) e^{-k' t}
+        # with delta_inf = I / (c k').  For very small k the asymptote
+        # delta_inf overflows and the textbook form loses all precision to
+        # cancellation (and returns NaN for subnormal k), so the asymptote
+        # contribution is evaluated as
+        #   delta_inf (1 - e^{-k' t}) = (I/c) t * (1 - e^{-k' t}) / (k' t),
+        # whose last factor tends smoothly to one as k' t -> 0.  This keeps
+        # the k -> 0 limit (pure linear drain) exact.
         k_prime = k / (c * (1.0 - c))
         delta0 = y2 / (1.0 - c) - y1 / c
-        delta_inf = current / (c * k_prime)
-        decay = math.exp(-k_prime * elapsed)
-        delta = delta_inf + (delta0 - delta_inf) * decay
+        x = k_prime * elapsed
+        growth = -math.expm1(-x)  # 1 - e^{-k' t}, accurate for tiny x
+        decay = 1.0 - growth
+        asymptote_term = (current / c) * elapsed * (growth / x if x > 0.0 else 1.0)
+        delta = delta0 * decay + asymptote_term
         total = y1 + y2 - current * elapsed
         return c * total - c * (1.0 - c) * delta
 
@@ -204,13 +215,16 @@ class KineticBatteryModel(Battery):
             return None
         k_prime = k / (c * (1.0 - c))
         delta0 = state.bound / (1.0 - c) - state.available / c
-        delta_inf = current / (c * k_prime)
-        target = current / k
-        denominator = delta0 - delta_inf
+        # The extremum satisfies delta(t) = I/k, i.e.
+        #   e^{-k' t} = (I/k - delta_inf) / (delta0 - delta_inf)
+        # with delta_inf = I (1-c) / k.  Multiplying numerator and
+        # denominator by k removes the 1/k terms, which would overflow for
+        # subnormal flow constants.
+        denominator = k * delta0 - current * (1.0 - c)
         if abs(denominator) < 1e-300:
             return None
-        ratio = (target - delta_inf) / denominator
-        if ratio <= 0.0 or ratio >= 1.0:
+        ratio = current * c / denominator
+        if not math.isfinite(ratio) or ratio <= 0.0 or ratio >= 1.0:
             return None
         time = -math.log(ratio) / k_prime
         if 0.0 < time < duration:

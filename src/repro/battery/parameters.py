@@ -17,6 +17,7 @@ parameter set used in the paper's experiments.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 from scipy.optimize import brentq
@@ -57,12 +58,12 @@ class KiBaMParameters:
     k: float
 
     def __post_init__(self) -> None:
-        if self.capacity <= 0:
-            raise ValueError("the capacity must be positive")
+        if not math.isfinite(self.capacity) or self.capacity <= 0:
+            raise ValueError("the capacity must be positive and finite")
         if not 0.0 < self.c <= 1.0:
             raise ValueError("the available-charge fraction c must lie in (0, 1]")
-        if self.k < 0:
-            raise ValueError("the flow constant k must be non-negative")
+        if not math.isfinite(self.k) or self.k < 0:
+            raise ValueError("the flow constant k must be non-negative and finite")
 
     # ------------------------------------------------------------------
     @property

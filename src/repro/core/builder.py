@@ -1,9 +1,16 @@
-"""High-level convenience API.
+"""High-level convenience API (legacy).
 
-:func:`compute_lifetime_distribution` is the single call most users need:
-give it a workload, a battery and a step size and it returns the lifetime
-CDF computed with the paper's Markovian approximation.  A sensible default
-time grid is derived from the workload's mean current when none is given.
+:func:`compute_lifetime_distribution` returns the lifetime CDF computed
+with the paper's Markovian approximation; a sensible default time grid is
+derived from the workload's mean current when none is given.
+
+.. deprecated::
+    New code should describe the question as a
+    :class:`repro.engine.LifetimeProblem` and call
+    :func:`repro.engine.solve_lifetime` instead, which exposes every solver
+    backend (not just the Markovian approximation), shared-work reuse and
+    batched scenario execution.  This wrapper is kept for backwards
+    compatibility.
 """
 
 from __future__ import annotations

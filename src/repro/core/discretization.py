@@ -36,7 +36,7 @@ import scipy.sparse as sp
 from repro.core.grid import RewardGrid
 from repro.core.kibamrm import KiBaMRM
 
-__all__ = ["DiscretizedKiBaMRM", "discretize"]
+__all__ = ["DiscretizedKiBaMRM", "discretize", "place_initial_distribution"]
 
 
 @dataclass(frozen=True)
@@ -99,6 +99,25 @@ class DiscretizedKiBaMRM:
         cells = self.grid.n_cells
         reshaped = distributions.reshape(distributions.shape[0], n, cells)
         return reshaped.sum(axis=2)
+
+
+def place_initial_distribution(grid: RewardGrid, workload, available: float, bound: float) -> np.ndarray:
+    """Place the workload's initial law at the given charge levels.
+
+    Returns the initial probability vector over the expanded state space:
+    each workload state's mass is put at the grid cell containing
+    ``(available, bound)``.  Shared by :func:`discretize` and by the
+    engine's batched solves, which start the *same* chain at different
+    charge levels (capacity sweeps over transfer-free batteries).
+    """
+    j1 = grid.level_of(available, dimension=1)
+    j2 = grid.level_of(bound, dimension=2) if grid.two_dimensional else 0
+    initial = np.zeros(grid.n_expanded_states(workload.n_states))
+    for state in range(workload.n_states):
+        mass = float(workload.initial_distribution[state])
+        if mass > 0.0:
+            initial[int(grid.flat_index(state, j1, j2))] += mass
+    return initial
 
 
 def _transfer_rates(grid: RewardGrid, c: float, k: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -193,13 +212,7 @@ def discretize(model: KiBaMRM, delta: float) -> DiscretizedKiBaMRM:
     # Initial distribution: the workload's initial distribution placed at the
     # levels containing the full-battery rewards.
     available0, bound0 = model.initial_rewards
-    j1_init = grid.level_of(available0, dimension=1)
-    j2_init = grid.level_of(bound0, dimension=2) if grid.two_dimensional else 0
-    initial = np.zeros(n_expanded)
-    for state in range(n_workload):
-        mass = float(workload.initial_distribution[state])
-        if mass > 0.0:
-            initial[int(grid.flat_index(state, j1_init, j2_init))] += mass
+    initial = place_initial_distribution(grid, workload, available0, bound0)
 
     # Absorbing empty states: every (i, 0, j2).
     states_mesh, j2_empty = np.meshgrid(

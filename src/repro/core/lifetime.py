@@ -23,13 +23,19 @@ import numpy as np
 from repro.analysis.distribution import LifetimeDistribution
 from repro.core.discretization import DiscretizedKiBaMRM, discretize
 from repro.core.kibamrm import KiBaMRM
-from repro.markov.uniformization import uniformized_transient
+from repro.markov.uniformization import TransientPropagator
 
 __all__ = ["LifetimeSolver", "lifetime_distribution"]
 
 
 class LifetimeSolver:
     """Markovian-approximation solver for a fixed model and step size.
+
+    The expanded chain is built once in the constructor; the uniformised
+    matrix and the empty-state projection are built lazily on the first
+    solve and then reused, so evaluating several time grids (refinements,
+    scenario sweeps) only pays for the Poisson windows and the
+    vector--matrix products.
 
     Parameters
     ----------
@@ -43,6 +49,8 @@ class LifetimeSolver:
         self._model = model
         self._delta = float(delta)
         self._discretized = discretize(model, delta)
+        self._propagator: TransientPropagator | None = None
+        self._empty_projection: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -65,20 +73,31 @@ class LifetimeSolver:
         """Number of states of the expanded CTMC."""
         return self._discretized.n_states
 
+    @property
+    def propagator(self) -> TransientPropagator:
+        """The cached uniformised-transient solver for the expanded chain."""
+        if self._propagator is None:
+            self._propagator = TransientPropagator(
+                self._discretized.generator, validate=False
+            )
+        return self._propagator
+
     # ------------------------------------------------------------------
     def empty_probabilities(self, times, *, epsilon: float = 1e-8) -> np.ndarray:
         """Return ``Pr{battery empty at t}`` for every ``t`` in *times*."""
-        result = uniformized_transient(
-            self._discretized.generator,
-            self._discretized.initial_distribution,
+        if self._empty_projection is None:
+            projection = np.zeros(self._discretized.n_states)
+            projection[self._discretized.empty_states] = 1.0
+            self._empty_projection = projection
+        result = self.propagator.transient_batch(
+            self._discretized.initial_distribution[None, :],
             times,
             epsilon=epsilon,
-            validate=False,
+            projection=self._empty_projection,
         )
         self._last_iterations = result.iterations
         self._last_rate = result.rate
-        probabilities = self._discretized.empty_probability(result.distributions)
-        return np.clip(np.asarray(probabilities, dtype=float), 0.0, 1.0)
+        return np.clip(np.asarray(result.values[0], dtype=float), 0.0, 1.0)
 
     def solve(self, times, *, epsilon: float = 1e-8, label: str | None = None) -> LifetimeDistribution:
         """Return the lifetime distribution on the given time grid."""

@@ -1,0 +1,48 @@
+"""Deterministic (load-profile) lifetime evaluation through the engine.
+
+The paper's Section 3 experiments (Table 1, Figure 2) evaluate battery
+models under *deterministic* piecewise-constant load profiles rather than
+stochastic CTMC workloads; the result is a single lifetime number or a
+discharge trajectory, not a distribution.  These helpers give that path the
+same single entry layer as the stochastic solvers, so every experiment
+driver routes through :mod:`repro.engine`.
+"""
+
+from __future__ import annotations
+
+from repro.battery.base import Battery, DischargeResult
+from repro.battery.kibam import KineticBatteryModel
+from repro.battery.parameters import KiBaMParameters
+from repro.battery.profiles import LoadProfile
+
+__all__ = ["deterministic_lifetime", "discharge_trajectory"]
+
+
+def _as_battery(battery: Battery | KiBaMParameters) -> Battery:
+    if isinstance(battery, KiBaMParameters):
+        return KineticBatteryModel(battery)
+    return battery
+
+
+def deterministic_lifetime(
+    battery: Battery | KiBaMParameters,
+    profile: LoadProfile,
+    *,
+    horizon: float | None = None,
+) -> float | None:
+    """Return the lifetime (seconds) of *battery* under a deterministic *profile*.
+
+    *battery* may be any :class:`~repro.battery.base.Battery` model or a
+    bare :class:`KiBaMParameters` set (evaluated with the analytic KiBaM).
+    Returns ``None`` when the battery survives the whole horizon.
+    """
+    return _as_battery(battery).lifetime(profile, horizon=horizon)
+
+
+def discharge_trajectory(
+    battery: Battery | KiBaMParameters,
+    profile: LoadProfile,
+    times,
+) -> DischargeResult:
+    """Return the well contents of *battery* under *profile* at the sample *times*."""
+    return _as_battery(battery).discharge(profile, times)

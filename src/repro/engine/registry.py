@@ -1,0 +1,103 @@
+"""String-keyed registry of lifetime solvers.
+
+The registry decouples *asking* a lifetime question from *how* it is
+answered: callers hold a :class:`~repro.engine.problem.LifetimeProblem` and
+a method name (``"analytic"``, ``"mrm-uniformization"``, ``"monte-carlo"``
+or ``"auto"``), and :func:`solve_lifetime` routes it to the registered
+backend.  New backends (and test doubles) register themselves with
+:func:`register_solver`.
+"""
+
+from __future__ import annotations
+
+from repro.engine.base import LifetimeSolver, UnknownSolverError
+from repro.engine.problem import LifetimeProblem
+from repro.engine.result import LifetimeResult
+from repro.engine.workspace import SolveWorkspace
+
+__all__ = [
+    "available_solvers",
+    "get_solver",
+    "register_solver",
+    "solve_lifetime",
+]
+
+_REGISTRY: dict[str, LifetimeSolver] = {}
+_BUILTINS_LOADED = False
+
+
+def register_solver(name: str, solver: LifetimeSolver, *, replace: bool = False) -> None:
+    """Register *solver* under *name*.
+
+    Re-registering an existing name requires ``replace=True`` so that typos
+    cannot silently shadow a built-in backend.
+    """
+    if not name:
+        raise ValueError("a solver needs a non-empty name")
+    if not replace and name in _REGISTRY and _REGISTRY[name] is not solver:
+        raise ValueError(f"a solver named {name!r} is already registered")
+    _REGISTRY[name] = solver
+
+
+def get_solver(name: str) -> LifetimeSolver:
+    """Return the solver registered under *name*."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSolverError(
+            f"unknown solver {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def available_solvers() -> list[str]:
+    """Return the names of all registered solvers."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def solve_lifetime(
+    problem: LifetimeProblem,
+    method: str = "auto",
+    *,
+    workspace: SolveWorkspace | None = None,
+) -> LifetimeResult:
+    """Solve one lifetime problem with the named solver (default ``auto``).
+
+    Parameters
+    ----------
+    problem:
+        The lifetime question (workload, battery, time grid, tuning knobs).
+    method:
+        Registry key of the solver to use; ``"auto"`` dispatches by problem
+        structure and size.
+    workspace:
+        Optional :class:`SolveWorkspace` shared across calls, so repeated
+        solves on the same chain reuse the expanded generator and its
+        uniformised matrix.  Sweeps over many scenarios should prefer
+        :class:`repro.engine.batch.ScenarioBatch`, which adds batched
+        propagation on top.
+    """
+    return get_solver(method).solve(problem, workspace=workspace)
+
+
+def _ensure_loaded() -> None:
+    """Register the built-in solvers (idempotent)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.engine.solvers import (
+        AnalyticSolver,
+        AutoSolver,
+        MonteCarloSolver,
+        MRMUniformizationSolver,
+    )
+
+    for solver in (
+        AnalyticSolver(),
+        MRMUniformizationSolver(),
+        MonteCarloSolver(),
+        AutoSolver(),
+    ):
+        _REGISTRY.setdefault(solver.name, solver)

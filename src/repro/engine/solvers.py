@@ -1,0 +1,260 @@
+"""The built-in lifetime solvers and the ``auto`` dispatcher.
+
+Three interchangeable machineries answer the same
+:class:`~repro.engine.problem.LifetimeProblem`:
+
+* ``analytic`` -- the exact occupation-time algorithm (De Souza e Silva &
+  Gail / Sericola), applicable when the workload draws at most two distinct
+  currents and no charge transfers between the wells (``c = 1`` or
+  ``k = 0``); the lifetime CDF is then an analytic functional of the
+  occupation time of the high-current states.
+* ``mrm-uniformization`` -- the paper's Markovian approximation: the
+  KiBaMRM is discretised into a large sparse CTMC whose transient solution
+  (via uniformisation) yields the probability of the absorbing
+  "battery empty" states.
+* ``monte-carlo`` -- trajectory simulation of the workload CTMC with the
+  analytic KiBaM integrated along every sampled path.
+
+``auto`` picks among them by problem structure and size: exact when the
+analytic algorithm applies, the Markovian approximation while the expanded
+chain stays tractable, Monte-Carlo beyond that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis.distribution import LifetimeDistribution
+from repro.battery.kibam import KineticBatteryModel
+from repro.engine.base import UnsupportedProblemError
+from repro.engine.problem import LifetimeProblem
+from repro.engine.result import LifetimeResult
+from repro.engine.workspace import SolveWorkspace
+from repro.reward.occupation import two_level_lifetime_cdf
+from repro.simulation.lifetime_sim import simulate_lifetime_distribution
+
+__all__ = [
+    "AnalyticSolver",
+    "AutoSolver",
+    "MonteCarloSolver",
+    "MRMUniformizationSolver",
+    "build_mrm_result",
+    "choose_method",
+]
+
+#: Largest expanded-chain size the ``auto`` dispatcher hands to the
+#: Markovian approximation before falling back to Monte-Carlo.
+MAX_AUTO_MRM_STATES = 200_000
+
+
+def build_mrm_result(
+    problem: LifetimeProblem,
+    chain,
+    probabilities: np.ndarray,
+    *,
+    rate: float,
+    iterations: int,
+    extra_diagnostics: dict | None = None,
+) -> LifetimeResult:
+    """Package one MRM solution as a :class:`LifetimeResult`.
+
+    Shared by the individual solver and the batched scenario runner so the
+    two paths report identical metadata and diagnostics.
+    """
+    delta = problem.effective_delta
+    shared = {
+        "delta": delta,
+        "n_states": chain.n_states,
+        "n_nonzero": chain.n_nonzero,
+        "uniformization_rate": rate,
+        "iterations": iterations,
+        "epsilon": float(problem.epsilon),
+    }
+    distribution = LifetimeDistribution(
+        times=problem.times,
+        probabilities=np.clip(np.asarray(probabilities, dtype=float), 0.0, 1.0),
+        label=problem.label or f"approximation (delta={delta:g})",
+        metadata={"method": MRMUniformizationSolver.name, **shared},
+    )
+    return LifetimeResult(
+        distribution=distribution,
+        method=MRMUniformizationSolver.name,
+        diagnostics={**shared, **(extra_diagnostics or {})},
+    )
+
+
+class AnalyticSolver:
+    """Exact lifetime CDF via the occupation-time algorithm.
+
+    Applicable when the workload has at most two distinct current levels
+    and the battery has no bound-to-available transfer (``c = 1`` or
+    ``k = 0``): the consumable charge is then exactly the available well
+    ``c C`` and the consumption process is a two-level reward.
+    """
+
+    name = "analytic"
+
+    def supports(self, problem: LifetimeProblem) -> bool:
+        return problem.n_current_levels <= 2 and not problem.has_transfer
+
+    def solve(
+        self, problem: LifetimeProblem, *, workspace: SolveWorkspace | None = None
+    ) -> LifetimeResult:
+        if not self.supports(problem):
+            raise UnsupportedProblemError(
+                "the analytic occupation-time solver requires at most two distinct "
+                "currents and no well-to-well transfer (c = 1 or k = 0)"
+            )
+        started = time.perf_counter()
+        workload = problem.workload
+        probabilities = two_level_lifetime_cdf(
+            workload.generator,
+            workload.initial_distribution,
+            workload.currents,
+            problem.battery.available_capacity,
+            problem.times,
+            epsilon=problem.epsilon,
+        )
+        elapsed = time.perf_counter() - started
+        label = problem.label or "exact (occupation-time algorithm)"
+        distribution = LifetimeDistribution(
+            times=problem.times,
+            probabilities=np.asarray(probabilities, dtype=float),
+            label=label,
+            metadata={
+                "method": self.name,
+                "effective_capacity": problem.battery.available_capacity,
+                "epsilon": problem.epsilon,
+            },
+        )
+        return LifetimeResult(
+            distribution=distribution,
+            method=self.name,
+            diagnostics={
+                "effective_capacity_as": problem.battery.available_capacity,
+                "epsilon": problem.epsilon,
+                "wall_seconds": elapsed,
+            },
+        )
+
+
+class MRMUniformizationSolver:
+    """The paper's Markovian approximation on the expanded sparse CTMC."""
+
+    name = "mrm-uniformization"
+
+    def supports(self, problem: LifetimeProblem) -> bool:
+        return True
+
+    def solve(
+        self, problem: LifetimeProblem, *, workspace: SolveWorkspace | None = None
+    ) -> LifetimeResult:
+        started = time.perf_counter()
+        ws = workspace if workspace is not None else SolveWorkspace()
+        delta = problem.effective_delta
+        key = problem.chain_key()
+        chain = ws.discretized(problem.model(), delta, key)
+        propagator = ws.propagator(chain, key)
+
+        transient = propagator.transient_batch(
+            chain.initial_distribution[None, :],
+            problem.times,
+            epsilon=problem.epsilon,
+            projection=ws.empty_projection(chain, key),
+        )
+        return build_mrm_result(
+            problem,
+            chain,
+            transient.values[0],
+            rate=transient.rate,
+            iterations=transient.iterations,
+            extra_diagnostics={"wall_seconds": time.perf_counter() - started},
+        )
+
+
+class MonteCarloSolver:
+    """Monte-Carlo estimation along sampled workload trajectories."""
+
+    name = "monte-carlo"
+
+    def supports(self, problem: LifetimeProblem) -> bool:
+        return True
+
+    def solve(
+        self, problem: LifetimeProblem, *, workspace: SolveWorkspace | None = None
+    ) -> LifetimeResult:
+        started = time.perf_counter()
+        simulation = simulate_lifetime_distribution(
+            problem.workload,
+            KineticBatteryModel(problem.battery),
+            n_runs=problem.n_runs,
+            seed=problem.seed,
+            horizon=problem.horizon,
+        )
+        probabilities = np.asarray(simulation.cdf(problem.times), dtype=float)
+        elapsed = time.perf_counter() - started
+
+        label = problem.label or f"simulation ({problem.n_runs} runs)"
+        distribution = LifetimeDistribution(
+            times=problem.times,
+            probabilities=probabilities,
+            label=label,
+            metadata={
+                "method": self.name,
+                "n_runs": problem.n_runs,
+                "horizon": simulation.horizon,
+            },
+        )
+        return LifetimeResult(
+            distribution=distribution,
+            method=self.name,
+            diagnostics={
+                "n_runs": problem.n_runs,
+                "seed": problem.seed,
+                "horizon": simulation.horizon,
+                "mean_lifetime_seconds": simulation.mean_lifetime,
+                "wall_seconds": elapsed,
+            },
+        )
+
+
+def choose_method(
+    problem: LifetimeProblem, *, max_mrm_states: int = MAX_AUTO_MRM_STATES
+) -> str:
+    """Return the registry key ``auto`` dispatches *problem* to.
+
+    Exact analytic solution when it applies; otherwise the Markovian
+    approximation while the expanded chain stays below *max_mrm_states*
+    states; Monte-Carlo simulation beyond that.
+    """
+    if AnalyticSolver().supports(problem):
+        return AnalyticSolver.name
+    if problem.estimated_mrm_states() <= max_mrm_states:
+        return MRMUniformizationSolver.name
+    return MonteCarloSolver.name
+
+
+class AutoSolver:
+    """Structure- and size-based dispatcher over the registered solvers."""
+
+    name = "auto"
+
+    def __init__(self, *, max_mrm_states: int = MAX_AUTO_MRM_STATES):
+        self.max_mrm_states = int(max_mrm_states)
+
+    def supports(self, problem: LifetimeProblem) -> bool:
+        return True
+
+    def solve(
+        self, problem: LifetimeProblem, *, workspace: SolveWorkspace | None = None
+    ) -> LifetimeResult:
+        from repro.engine.registry import get_solver
+
+        method = choose_method(problem, max_mrm_states=self.max_mrm_states)
+        result = get_solver(method).solve(problem, workspace=workspace)
+        diagnostics = dict(result.diagnostics)
+        diagnostics["auto_dispatched_to"] = method
+        return replace(result, diagnostics=diagnostics)

@@ -1,0 +1,93 @@
+"""Shared-work caches for repeated and batched solves.
+
+A :class:`SolveWorkspace` is the reuse boundary of the engine: solvers that
+are handed the same workspace share
+
+* the **expanded-chain builds** (``discretize`` results keyed by the
+  problem's chain key) together with their cached
+  :class:`~repro.markov.uniformization.TransientPropagator`, so a parameter
+  sweep that revisits a chain never rebuilds or re-uniformises it, and
+* the globally memoised **Poisson windows** (hit statistics are surfaced
+  here for diagnostics).
+
+Workspaces are cheap; :class:`~repro.engine.batch.ScenarioBatch` creates
+one per run, and callers doing manual sweeps can keep one alive for as long
+as the memory for the cached chains is acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.discretization import DiscretizedKiBaMRM, discretize
+from repro.core.kibamrm import KiBaMRM
+from repro.markov.poisson import cached_poisson_weights
+from repro.markov.uniformization import TransientPropagator
+
+__all__ = ["SolveWorkspace"]
+
+
+@dataclass
+class SolveWorkspace:
+    """Caches shared by every solve routed through one engine call/batch."""
+
+    chains: dict[tuple, DiscretizedKiBaMRM] = field(default_factory=dict)
+    propagators: dict[tuple, TransientPropagator] = field(default_factory=dict)
+    projections: dict[tuple, np.ndarray] = field(default_factory=dict)
+    builds: int = 0
+    build_hits: int = 0
+
+    def __post_init__(self) -> None:
+        # Snapshot the process-global Poisson cache counters so diagnostics
+        # report what *this* workspace's solves contributed, not the
+        # cumulative process history.
+        info = cached_poisson_weights.cache_info()
+        self._poisson_hits0 = info.hits
+        self._poisson_misses0 = info.misses
+
+    # ------------------------------------------------------------------
+    def discretized(self, model: KiBaMRM, delta: float, key: tuple) -> DiscretizedKiBaMRM:
+        """Return the expanded chain for *key*, building it at most once."""
+        chain = self.chains.get(key)
+        if chain is None:
+            chain = discretize(model, delta)
+            self.chains[key] = chain
+            self.builds += 1
+        else:
+            self.build_hits += 1
+        return chain
+
+    def propagator(self, chain: DiscretizedKiBaMRM, key: tuple) -> TransientPropagator:
+        """Return the cached uniformised propagator for *chain*."""
+        propagator = self.propagators.get(key)
+        if propagator is None:
+            propagator = TransientPropagator(chain.generator, validate=False)
+            self.propagators[key] = propagator
+        return propagator
+
+    def empty_projection(self, chain: DiscretizedKiBaMRM, key: tuple) -> np.ndarray:
+        """Return the cached empty-state indicator vector for *chain*."""
+        projection = self.projections.get(key)
+        if projection is None:
+            projection = np.zeros(chain.n_states)
+            projection[chain.empty_states] = 1.0
+            projection.setflags(write=False)
+            self.projections[key] = projection
+        return projection
+
+    # ------------------------------------------------------------------
+    def diagnostics(self) -> dict:
+        """Return reuse statistics (chain builds saved, Poisson cache hits).
+
+        The Poisson counters are relative to the creation of this
+        workspace, so they describe the solves routed through it.
+        """
+        info = cached_poisson_weights.cache_info()
+        return {
+            "chain_builds": self.builds,
+            "chain_build_hits": self.build_hits,
+            "poisson_cache_hits": max(0, info.hits - self._poisson_hits0),
+            "poisson_cache_misses": max(0, info.misses - self._poisson_misses0),
+        }

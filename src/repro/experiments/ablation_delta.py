@@ -15,11 +15,10 @@ import numpy as np
 from repro.analysis.convergence import delta_convergence_study
 from repro.analysis.distribution import LifetimeDistribution
 from repro.analysis.report import format_table
-from repro.core.kibamrm import KiBaMRM
-from repro.core.lifetime import LifetimeSolver
+from repro.engine import SolveWorkspace, solve_lifetime
+from repro.experiments.common import exact_curve, lifetime_problem
 from repro.experiments.figure7 import FIGURE7_TIMES, onoff_single_well_battery
 from repro.experiments.registry import ExperimentConfig, ExperimentResult, register_experiment
-from repro.reward.occupation import two_level_lifetime_cdf
 from repro.workload.onoff import onoff_workload
 
 __all__ = ["run"]
@@ -30,18 +29,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     workload = onoff_workload(frequency=1.0, erlang_k=1)
     battery = onoff_single_well_battery()
     times = FIGURE7_TIMES
-    model = KiBaMRM(workload=workload, battery=battery)
 
-    exact = LifetimeDistribution(
-        times=times,
-        probabilities=two_level_lifetime_cdf(
-            workload.generator,
-            workload.initial_distribution,
-            workload.currents,
-            battery.capacity,
-            times,
-        ),
-        label="exact (occupation-time algorithm)",
+    exact = exact_curve(
+        workload, battery, times, label="exact (occupation-time algorithm)"
     )
 
     deltas = [400.0, 200.0, 100.0, 50.0, 25.0]
@@ -49,11 +39,15 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         deltas += [10.0]
 
     state_counts: dict[float, int] = {}
+    workspace = SolveWorkspace()
 
     def solve(delta: float) -> LifetimeDistribution:
-        solver = LifetimeSolver(model, delta)
-        state_counts[delta] = solver.n_states
-        return solver.solve(times, label=f"Delta={delta:g}")
+        problem = lifetime_problem(
+            workload, battery, times, delta=delta, label=f"Delta={delta:g}"
+        )
+        result = solve_lifetime(problem, "mrm-uniformization", workspace=workspace)
+        state_counts[delta] = int(result.diagnostics["n_states"])
+        return result.distribution
 
     study = delta_convergence_study(solve, deltas, exact)
 

@@ -15,11 +15,10 @@ import numpy as np
 
 from repro.analysis.distribution import LifetimeDistribution
 from repro.analysis.report import format_table
-from repro.battery.parameters import KiBaMParameters
-from repro.experiments.common import approximation_curve
+from repro.engine import SolveWorkspace
+from repro.experiments.common import approximation_curve, exact_curve
 from repro.experiments.figure7 import onoff_single_well_battery
 from repro.experiments.registry import ExperimentConfig, ExperimentResult, register_experiment
-from repro.reward.occupation import two_level_lifetime_cdf
 from repro.workload.onoff import onoff_workload
 
 __all__ = ["run"]
@@ -41,21 +40,17 @@ def run(config: ExperimentConfig) -> ExperimentResult:
 
     rows = []
     data: dict[str, dict[str, float]] = {}
+    workspace = SolveWorkspace()
     for k in shapes:
         workload = onoff_workload(frequency=1.0, erlang_k=k)
-        exact = LifetimeDistribution(
-            times=times,
-            probabilities=two_level_lifetime_cdf(
-                workload.generator,
-                workload.initial_distribution,
-                workload.currents,
-                battery.capacity,
-                times,
-            ),
-            label=f"exact, K={k}",
-        )
+        exact = exact_curve(workload, battery, times, label=f"exact, K={k}")
         approximation = approximation_curve(
-            workload, battery, delta, times, label=f"approximation Delta={delta:g}, K={k}"
+            workload,
+            battery,
+            delta,
+            times,
+            label=f"approximation Delta={delta:g}, K={k}",
+            workspace=workspace,
         )
         exact_spread = _spread(exact)
         approx_spread = _spread(approximation)

@@ -1,4 +1,12 @@
-"""Shared helpers for the experiment drivers."""
+"""Shared helpers for the experiment drivers.
+
+Every curve an experiment needs is obtained through the unified solver
+engine (:mod:`repro.engine`): the helpers here only translate the drivers'
+historical (workload, battery, delta, times) vocabulary into
+:class:`~repro.engine.problem.LifetimeProblem` objects and pick the solver
+backend.  Sweeps go through :class:`~repro.engine.batch.ScenarioBatch` so
+chain builds, uniformised matrices and Poisson windows are shared.
+"""
 
 from __future__ import annotations
 
@@ -7,14 +15,43 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.analysis.distribution import LifetimeDistribution
-from repro.battery.kibam import KineticBatteryModel
 from repro.battery.parameters import KiBaMParameters
-from repro.core.kibamrm import KiBaMRM
-from repro.core.lifetime import LifetimeSolver
-from repro.simulation.lifetime_sim import simulate_lifetime_distribution
+from repro.engine import LifetimeProblem, ScenarioBatch, SolveWorkspace, solve_lifetime
 from repro.workload.base import WorkloadModel
 
-__all__ = ["approximation_curve", "approximation_curves", "simulation_curve"]
+__all__ = [
+    "approximation_curve",
+    "approximation_curves",
+    "exact_curve",
+    "lifetime_problem",
+    "simulation_curve",
+]
+
+
+def lifetime_problem(
+    workload: WorkloadModel,
+    battery: KiBaMParameters,
+    times,
+    *,
+    delta: float | None = None,
+    epsilon: float = 1e-8,
+    n_runs: int = 1000,
+    seed: int = 20070625,
+    horizon: float | None = None,
+    label: str | None = None,
+) -> LifetimeProblem:
+    """Build a :class:`LifetimeProblem` from the drivers' vocabulary."""
+    return LifetimeProblem(
+        workload=workload,
+        battery=battery,
+        times=np.asarray(times, dtype=float),
+        delta=delta,
+        epsilon=epsilon,
+        n_runs=n_runs,
+        seed=seed,
+        horizon=horizon,
+        label=label,
+    )
 
 
 def approximation_curve(
@@ -25,11 +62,13 @@ def approximation_curve(
     *,
     label: str | None = None,
     epsilon: float = 1e-8,
+    workspace: SolveWorkspace | None = None,
 ) -> LifetimeDistribution:
     """Run the Markovian approximation for one step size."""
-    model = KiBaMRM(workload=workload, battery=battery)
-    solver = LifetimeSolver(model, delta)
-    return solver.solve(np.asarray(times, dtype=float), epsilon=epsilon, label=label)
+    problem = lifetime_problem(
+        workload, battery, times, delta=float(delta), epsilon=epsilon, label=label
+    )
+    return solve_lifetime(problem, "mrm-uniformization", workspace=workspace).distribution
 
 
 def approximation_curves(
@@ -41,18 +80,10 @@ def approximation_curves(
     label_format: str = "Delta={delta:g}",
     epsilon: float = 1e-8,
 ) -> list[LifetimeDistribution]:
-    """Run the Markovian approximation for several step sizes."""
-    return [
-        approximation_curve(
-            workload,
-            battery,
-            float(delta),
-            times,
-            label=label_format.format(delta=delta),
-            epsilon=epsilon,
-        )
-        for delta in deltas
-    ]
+    """Run the Markovian approximation for several step sizes (as one batch)."""
+    base = lifetime_problem(workload, battery, times, delta=float(deltas[0]), epsilon=epsilon)
+    batch = ScenarioBatch.over_deltas(base, [float(d) for d in deltas], label_format=label_format)
+    return batch.run("mrm-uniformization").distributions
 
 
 def simulation_curve(
@@ -65,21 +96,25 @@ def simulation_curve(
     label: str | None = None,
     horizon: float | None = None,
 ) -> LifetimeDistribution:
-    """Run the Monte-Carlo simulation and sample its empirical CDF at *times*."""
-    result = simulate_lifetime_distribution(
-        workload,
-        KineticBatteryModel(battery),
-        n_runs=n_runs,
-        seed=seed,
-        horizon=horizon,
+    """Run the Monte-Carlo solver and sample its empirical CDF at *times*."""
+    problem = lifetime_problem(
+        workload, battery, times, n_runs=n_runs, seed=seed, horizon=horizon, label=label
     )
-    times_array = np.asarray(times, dtype=float)
-    probabilities = result.cdf(times_array)
-    if label is None:
-        label = f"simulation ({n_runs} runs)"
-    return LifetimeDistribution(
-        times=times_array,
-        probabilities=np.asarray(probabilities, dtype=float),
-        label=label,
-        metadata={"method": "simulation", "n_runs": n_runs, "horizon": result.horizon},
-    )
+    return solve_lifetime(problem, "monte-carlo").distribution
+
+
+def exact_curve(
+    workload: WorkloadModel,
+    battery: KiBaMParameters,
+    times,
+    *,
+    label: str | None = None,
+    epsilon: float = 1e-10,
+) -> LifetimeDistribution:
+    """Run the exact occupation-time (analytic) solver.
+
+    Only applicable to two-level-current workloads without well-to-well
+    transfer (``c = 1`` or ``k = 0``); the engine raises otherwise.
+    """
+    problem = lifetime_problem(workload, battery, times, epsilon=epsilon, label=label)
+    return solve_lifetime(problem, "analytic").distribution

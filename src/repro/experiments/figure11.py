@@ -19,7 +19,8 @@ import numpy as np
 from repro.analysis.report import format_series
 from repro.battery.parameters import KiBaMParameters
 from repro.battery.units import coulombs_from_milliamp_hours
-from repro.experiments.common import approximation_curve
+from repro.engine import ScenarioBatch
+from repro.experiments.common import lifetime_problem
 from repro.experiments.registry import ExperimentConfig, ExperimentResult, register_experiment
 from repro.workload.burst import burst_workload
 from repro.workload.simple import simple_workload
@@ -45,8 +46,11 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     simple = simple_workload()
     burst = burst_workload()
 
-    simple_curve = approximation_curve(simple, battery, delta, times, label="simple model")
-    burst_curve = approximation_curve(burst, battery, delta, times, label="burst model")
+    batch = ScenarioBatch(
+        lifetime_problem(workload, battery, times, delta=delta, label=label)
+        for label, workload in (("simple model", simple), ("burst model", burst))
+    )
+    simple_curve, burst_curve = batch.run("mrm-uniformization").distributions
 
     table = format_series([simple_curve, burst_curve], times, time_label="t (h)", time_scale=3600.0)
 

@@ -16,12 +16,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.comparison import kolmogorov_distance
-from repro.analysis.distribution import LifetimeDistribution
 from repro.analysis.report import format_series
 from repro.battery.parameters import KiBaMParameters
-from repro.experiments.common import approximation_curves, simulation_curve
+from repro.experiments.common import approximation_curves, exact_curve, simulation_curve
 from repro.experiments.registry import ExperimentConfig, ExperimentResult, register_experiment
-from repro.reward.occupation import two_level_lifetime_cdf
 from repro.workload.onoff import onoff_workload
 
 __all__ = ["run", "onoff_single_well_battery", "FIGURE7_TIMES"]
@@ -55,17 +53,8 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         label=f"simulation ({config.n_simulation_runs} runs)",
     )
 
-    exact = LifetimeDistribution(
-        times=times,
-        probabilities=two_level_lifetime_cdf(
-            workload.generator,
-            workload.initial_distribution,
-            workload.currents,
-            battery.capacity,
-            times,
-        ),
-        label="exact (occupation-time algorithm)",
-        metadata={"method": "occupation-time"},
+    exact = exact_curve(
+        workload, battery, times, label="exact (occupation-time algorithm)"
     )
 
     all_curves = curves + [simulation, exact]

@@ -1,12 +1,20 @@
-"""Run all experiment reproductions and print their reports.
+"""Run experiment reproductions and print their reports.
 
 ``python -m repro.experiments.runner`` executes every registered experiment
 with the configuration taken from the environment (``REPRO_FULL``,
 ``REPRO_SIM_RUNS``) and prints the rendered results; this is the textual
-equivalent of regenerating every table and figure of the paper.
+equivalent of regenerating every table and figure of the paper.  Pass
+experiment names (``python -m repro.experiments.runner figure7 table1``) to
+run a subset, or ``--list`` to enumerate what is registered.
+
+All drivers obtain their curves through the unified solver engine
+(:mod:`repro.engine`); this module only handles selection, configuration
+and report rendering.
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.experiments.registry import (
     ExperimentConfig,
@@ -32,10 +40,39 @@ def run_all(config: ExperimentConfig | None = None) -> list[ExperimentResult]:
     return [get_experiment(name)(config) for name in available_experiments()]
 
 
-def main() -> None:
+def main(argv=None) -> None:
     """Command-line entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="NAME",
+        help="experiment names to run (default: all registered experiments)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the registered experiments and exit"
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.list:
+        for name in available_experiments():
+            print(name)
+        return
+
     config = ExperimentConfig.from_environment()
-    for result in run_all(config):
+    names = arguments.experiments or available_experiments()
+    known = set(available_experiments())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(known))}"
+        )
+    for name in names:
+        result = run_experiment(name, config)
         print(result.render())
         print()
 

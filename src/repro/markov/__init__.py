@@ -30,6 +30,7 @@ from repro.markov.absorbing import (
 from repro.markov.ctmc import CTMC
 from repro.markov.dtmc import DTMC
 from repro.markov.generator import (
+    as_csr,
     build_generator,
     embedded_jump_matrix,
     exit_rates,
@@ -43,24 +44,35 @@ from repro.markov.phase_type import (
     exponential,
     hyperexponential,
 )
-from repro.markov.poisson import PoissonWeights, fox_glynn, poisson_weights
+from repro.markov.poisson import (
+    PoissonWeights,
+    cached_poisson_weights,
+    fox_glynn,
+    poisson_weights,
+)
 from repro.markov.steady_state import steady_state_distribution
 from repro.markov.transient import transient_distribution
 from repro.markov.uniformization import (
+    BatchTransientResult,
+    TransientPropagator,
     UniformizationResult,
     uniformization_rate,
     uniformized_transient,
 )
 
 __all__ = [
+    "BatchTransientResult",
     "CTMC",
     "DTMC",
     "PhaseTypeDistribution",
     "PoissonWeights",
+    "TransientPropagator",
     "UniformizationResult",
     "absorption_probabilities",
     "absorption_time_cdf",
+    "as_csr",
     "build_generator",
+    "cached_poisson_weights",
     "embedded_jump_matrix",
     "erlang",
     "exit_rates",

@@ -17,6 +17,7 @@ import scipy.sparse as sp
 
 __all__ = [
     "GeneratorError",
+    "as_csr",
     "build_generator",
     "embedded_jump_matrix",
     "exit_rates",
@@ -36,6 +37,19 @@ class GeneratorError(ValueError):
 def _is_sparse(matrix) -> bool:
     """Return ``True`` when *matrix* is a scipy sparse matrix/array."""
     return sp.issparse(matrix)
+
+
+def as_csr(matrix) -> sp.csr_matrix:
+    """Convert *matrix* to CSR once, at the boundary of the sparse pipeline.
+
+    The numerical pipeline (uniformisation, the engine solvers) works on
+    CSR matrices end-to-end; dense inputs -- the tiny workload chains of the
+    paper -- are converted here exactly once instead of being re-dispatched
+    with ``sp.issparse`` checks in every downstream call.
+    """
+    if _is_sparse(matrix):
+        return matrix.tocsr()
+    return sp.csr_matrix(np.asarray(matrix, dtype=float))
 
 
 def build_generator(

@@ -26,10 +26,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["PoissonWeights", "fox_glynn", "poisson_weights"]
+__all__ = ["PoissonWeights", "cached_poisson_weights", "fox_glynn", "poisson_weights"]
 
 
 @dataclass(frozen=True)
@@ -144,6 +145,7 @@ def fox_glynn(rate: float, epsilon: float = 1e-12) -> PoissonWeights:
         right = left + weights.size - 1
         weights = weights / float(np.sum(weights))
 
+    weights.setflags(write=False)
     return PoissonWeights(left=left, right=right, weights=weights, rate=float(rate))
 
 
@@ -154,3 +156,24 @@ def poisson_weights(rate: float, epsilon: float = 1e-12) -> PoissonWeights:
     delegates to :func:`fox_glynn`.
     """
     return fox_glynn(rate, epsilon)
+
+
+@lru_cache(maxsize=512)
+def cached_poisson_weights(rate: float, epsilon: float = 1e-12) -> PoissonWeights:
+    """Memoised variant of :func:`poisson_weights`.
+
+    Scenario sweeps evaluate the same chain on the same (or overlapping)
+    time grids over and over; the Poisson window for a given ``(q t,
+    epsilon)`` pair is identical every time, and for the large discretised
+    battery chains (``q t`` of several ten thousands) its computation is a
+    measurable fraction of a solve.  The returned weight arrays are marked
+    read-only so shared windows cannot be corrupted.
+
+    The cache size bounds the retained memory: windows grow like
+    ``O(sqrt(q t))`` doubles, so 512 entries stay within a few tens of MB
+    even for the million-state chains.  Use
+    ``cached_poisson_weights.cache_clear()`` to release the memory
+    eagerly and ``cached_poisson_weights.cache_info()`` for hit/miss
+    diagnostics.
+    """
+    return fox_glynn(float(rate), float(epsilon))

@@ -9,12 +9,23 @@ the uniformised DTMC matrix ``P = I + Q/q``:
    \\pi(t) \\;=\\; \\sum_{n=0}^{\\infty}
         e^{-qt} \\frac{(qt)^n}{n!} \\; \\alpha P^n .
 
-The implementation below supports **many output time points in a single
-pass**: the vector sequence ``v_n = alpha P^n`` is generated once, up to the
-largest right truncation point, and every requested time point accumulates
-the terms that fall inside its own Poisson window.  This is essential for
-the battery experiments, where a full lifetime CDF over 50--200 time points
-is needed for chains with up to a million states.
+The implementation supports **many output time points in a single pass**:
+the vector sequence ``v_n = alpha P^n`` is generated once, up to the largest
+right truncation point, and every requested time point accumulates the terms
+that fall inside its own Poisson window.  This is essential for the battery
+experiments, where a full lifetime CDF over 50--200 time points is needed
+for chains with up to a million states.
+
+Two further reuse levers are exposed for the engine layer:
+
+* :class:`TransientPropagator` validates the generator, converts it to CSR
+  and uniformises it **once**, so repeated solves on the same chain (time
+  grid refinements, parameter sweeps) skip all of that per call.
+* :meth:`TransientPropagator.transient_batch` propagates a whole *stack* of
+  initial distributions through the chain in one pass -- the dominating
+  sparse matrix products then operate on a ``(K, n)`` block instead of
+  ``K`` separate vectors, which is substantially faster for scenario
+  batches.
 """
 
 from __future__ import annotations
@@ -24,10 +35,12 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from repro.markov.generator import exit_rates, uniformized_matrix, validate_generator
-from repro.markov.poisson import PoissonWeights, poisson_weights
+from repro.markov.generator import as_csr, validate_generator
+from repro.markov.poisson import PoissonWeights, cached_poisson_weights
 
 __all__ = [
+    "BatchTransientResult",
+    "TransientPropagator",
     "UniformizationResult",
     "uniformization_rate",
     "uniformized_transient",
@@ -73,6 +86,34 @@ class UniformizationResult:
         return self.distributions[int(matches[0])]
 
 
+@dataclass
+class BatchTransientResult:
+    """Result of a batched (multi-initial-vector) uniformisation run.
+
+    Attributes
+    ----------
+    times:
+        The requested time points.
+    values:
+        Shape ``(K, len(times), n_states)`` without a projection; with a
+        projection vector of shape ``(n_states,)`` the state dimension is
+        contracted away and the shape is ``(K, len(times))``; a projection
+        matrix ``(n_states, m)`` yields ``(K, len(times), m)``.
+    rate:
+        The uniformisation rate that was used.
+    iterations:
+        Number of block--matrix products that were performed.
+    truncation_error:
+        Upper bound on the neglected Poisson mass, per time point.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    rate: float
+    iterations: int
+    truncation_error: np.ndarray
+
+
 def uniformization_rate(generator, *, safety: float = RATE_SAFETY_FACTOR) -> float:
     """Return a uniformisation rate for *generator*.
 
@@ -81,17 +122,205 @@ def uniformization_rate(generator, *, safety: float = RATE_SAFETY_FACTOR) -> flo
     completely absorbing chains (all rates zero) still produce a valid,
     trivial uniformised matrix.
     """
+    from repro.markov.generator import exit_rates
+
     max_exit = float(np.max(exit_rates(generator), initial=0.0))
     if max_exit <= 0.0:
         return 1.0
     return max_exit * safety
 
 
-def _as_operator(matrix):
-    """Return the matrix in a form suitable for repeated ``vector @ matrix``."""
-    if sp.issparse(matrix):
-        return matrix.tocsr()
-    return np.asarray(matrix, dtype=float)
+class TransientPropagator:
+    """Reusable transient solver for one CTMC generator.
+
+    The constructor performs all the per-chain work exactly once -- CSR
+    conversion (the pipeline is sparse end-to-end; dense workload chains are
+    converted at this boundary), validation, exit-rate extraction and
+    uniformisation -- so that every subsequent :meth:`transient` /
+    :meth:`transient_batch` call only pays for the Poisson windows (which
+    are memoised globally) and the vector--matrix products.
+
+    Parameters
+    ----------
+    generator:
+        CTMC generator matrix (dense ndarray or any scipy sparse format).
+    rate:
+        Optional uniformisation rate; must dominate every exit rate.  When
+        omitted, the maximal exit rate times a small safety factor is used.
+    validate:
+        When ``True`` (default) the generator is validated once here, and
+        initial distributions are checked in every solve call.
+    """
+
+    def __init__(self, generator, *, rate: float | None = None, validate: bool = True):
+        matrix = as_csr(generator)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"generator must be square, got shape {matrix.shape}")
+        if validate:
+            validate_generator(matrix)
+        self._validate = bool(validate)
+        self._generator = matrix
+        exit = -matrix.diagonal()
+        max_exit = float(np.max(exit, initial=0.0))
+        if rate is None:
+            self._rate = max_exit * RATE_SAFETY_FACTOR if max_exit > 0.0 else 1.0
+        else:
+            self._rate = float(rate)
+            if self._rate <= 0:
+                raise ValueError(f"uniformisation rate must be positive, got {rate}")
+            if self._rate < max_exit * (1.0 - 1e-12):
+                raise ValueError(
+                    f"uniformisation rate {rate} is smaller than the maximal exit "
+                    f"rate {max_exit}"
+                )
+        n = matrix.shape[0]
+        self._probability_matrix = (
+            sp.identity(n, format="csr") + matrix / self._rate
+        ).tocsr()
+
+    # ------------------------------------------------------------------
+    @property
+    def generator(self):
+        """The generator, as the CSR matrix used internally."""
+        return self._generator
+
+    @property
+    def probability_matrix(self):
+        """The uniformised DTMC matrix ``P = I + Q/rate`` (CSR)."""
+        return self._probability_matrix
+
+    @property
+    def rate(self) -> float:
+        """The uniformisation rate."""
+        return self._rate
+
+    @property
+    def n_states(self) -> int:
+        """Number of states of the chain."""
+        return int(self._generator.shape[0])
+
+    # ------------------------------------------------------------------
+    def _check_initials(self, alphas: np.ndarray) -> None:
+        if alphas.shape[1] != self.n_states:
+            raise ValueError(
+                f"initial distribution has {alphas.shape[1]} entries but the "
+                f"generator has {self.n_states} states"
+            )
+        if self._validate:
+            totals = alphas.sum(axis=1)
+            if not np.allclose(totals, 1.0, atol=1e-8):
+                worst = float(totals[int(np.argmax(np.abs(totals - 1.0)))])
+                raise ValueError(f"initial distribution sums to {worst}, expected 1")
+            if np.any(alphas < -1e-12):
+                raise ValueError("initial distribution has negative entries")
+
+    @staticmethod
+    def _windows(rate: float, times: np.ndarray, epsilon: float) -> list[PoissonWeights]:
+        return [cached_poisson_weights(rate * float(t), float(epsilon)) for t in times]
+
+    def transient(
+        self,
+        initial_distribution,
+        times,
+        *,
+        epsilon: float = 1e-10,
+        callback=None,
+    ) -> UniformizationResult:
+        """Compute transient state distributions at one or more time points."""
+        alpha = np.asarray(initial_distribution, dtype=float).ravel()
+        batch = self.transient_batch(
+            alpha[None, :], times, epsilon=epsilon, callback=callback
+        )
+        return UniformizationResult(
+            times=batch.times,
+            distributions=batch.values[0],
+            rate=batch.rate,
+            iterations=batch.iterations,
+            truncation_error=batch.truncation_error,
+        )
+
+    def transient_batch(
+        self,
+        initial_distributions,
+        times,
+        *,
+        epsilon: float = 1e-10,
+        projection=None,
+        callback=None,
+    ) -> BatchTransientResult:
+        """Propagate a stack of initial distributions in one shared pass.
+
+        Parameters
+        ----------
+        initial_distributions:
+            Array of shape ``(K, n_states)``; one initial probability vector
+            per scenario.
+        times:
+            Scalar or sequence of non-negative time points, shared by all
+            scenarios (callers merge their grids and slice the result).
+        epsilon:
+            Bound on the truncation error per time point.
+        projection:
+            Optional vector ``(n_states,)`` or matrix ``(n_states, m)``.
+            When given, only the projected quantities (for example the
+            probability mass of the absorbing "battery empty" states) are
+            accumulated, which reduces the memory footprint from
+            ``K x T x n`` to ``K x T (x m)``.
+        callback:
+            Optional ``callback(iteration, total_iterations)`` hook, invoked
+            every 1000 block products.
+
+        Returns
+        -------
+        BatchTransientResult
+        """
+        times_array = np.atleast_1d(np.asarray(times, dtype=float))
+        if np.any(times_array < 0):
+            raise ValueError("time points must be non-negative")
+        alphas = np.atleast_2d(np.asarray(initial_distributions, dtype=float))
+        self._check_initials(alphas)
+        n_batch = alphas.shape[0]
+
+        proj = None
+        if projection is not None:
+            proj = np.asarray(projection, dtype=float)
+            if proj.shape[0] != self.n_states:
+                raise ValueError(
+                    f"projection has leading dimension {proj.shape[0]}, expected "
+                    f"{self.n_states}"
+                )
+
+        windows = self._windows(self._rate, times_array, epsilon)
+        max_right = max(window.right for window in windows)
+        truncation_error = np.array([max(0.0, 1.0 - window.total) for window in windows])
+
+        if proj is None:
+            results = np.zeros((n_batch, times_array.size, self.n_states))
+        elif proj.ndim == 1:
+            results = np.zeros((n_batch, times_array.size))
+        else:
+            results = np.zeros((n_batch, times_array.size, proj.shape[1]))
+
+        matrix = self._probability_matrix
+        block = alphas.copy()
+        for n in range(0, max_right + 1):
+            contribution = block if proj is None else block @ proj
+            for j, window in enumerate(windows):
+                if window.left <= n <= window.right:
+                    results[:, j] += window.weights[n - window.left] * contribution
+            if n == max_right:
+                break
+            block = block @ matrix
+            if callback is not None and n % 1000 == 0:
+                callback(n, max_right)
+
+        return BatchTransientResult(
+            times=times_array,
+            values=results,
+            rate=self._rate,
+            iterations=max_right,
+            truncation_error=truncation_error,
+        )
 
 
 def uniformized_transient(
@@ -106,79 +335,13 @@ def uniformized_transient(
 ) -> UniformizationResult:
     """Compute transient state distributions at one or more time points.
 
-    Parameters
-    ----------
-    generator:
-        CTMC generator matrix (dense ndarray or scipy sparse matrix).
-    initial_distribution:
-        Probability vector over the states at time zero.
-    times:
-        Scalar or sequence of non-negative time points.
-    epsilon:
-        Bound on the truncation error per time point (total neglected
-        Poisson mass).
-    rate:
-        Optional uniformisation rate; must dominate every exit rate.  When
-        omitted, :func:`uniformization_rate` is used.
-    validate:
-        When ``True`` (default) the generator and the initial distribution
-        are checked for consistency.  Large, programmatically constructed
-        chains (the discretised KiBaMRM) may switch this off for speed after
-        having been validated once in tests.
-    callback:
-        Optional callable invoked as ``callback(iteration, total_iterations)``
-        every 1000 iterations; useful for progress reporting in long runs.
-
-    Returns
-    -------
-    UniformizationResult
+    One-shot convenience wrapper around :class:`TransientPropagator`; see
+    there for the parameter semantics.  Callers that solve the same chain
+    repeatedly (time-grid refinements, scenario sweeps) should construct a
+    :class:`TransientPropagator` once instead, which skips the re-validation
+    and re-uniformisation of the generator on every call.
     """
-    times_array = np.atleast_1d(np.asarray(times, dtype=float))
-    if np.any(times_array < 0):
-        raise ValueError("time points must be non-negative")
-
-    alpha = np.asarray(initial_distribution, dtype=float).ravel()
-    n_states = alpha.size
-    if generator.shape[0] != n_states:
-        raise ValueError(
-            f"initial distribution has {n_states} entries but the generator has "
-            f"{generator.shape[0]} states"
-        )
-    if validate:
-        validate_generator(generator)
-        total_mass = float(alpha.sum())
-        if not np.isclose(total_mass, 1.0, atol=1e-8):
-            raise ValueError(f"initial distribution sums to {total_mass}, expected 1")
-        if np.any(alpha < -1e-12):
-            raise ValueError("initial distribution has negative entries")
-
-    q_rate = uniformization_rate(generator) if rate is None else float(rate)
-    probability_matrix = _as_operator(uniformized_matrix(generator, q_rate))
-
-    # Poisson windows, one per time point.
-    windows: list[PoissonWeights] = [
-        poisson_weights(q_rate * t, epsilon) for t in times_array
-    ]
-    max_right = max(window.right for window in windows)
-
-    results = np.zeros((times_array.size, n_states), dtype=float)
-    truncation_error = np.array([max(0.0, 1.0 - window.total) for window in windows])
-
-    vector = alpha.copy()
-    for n in range(0, max_right + 1):
-        for j, window in enumerate(windows):
-            if window.left <= n <= window.right:
-                results[j] += window.weights[n - window.left] * vector
-        if n == max_right:
-            break
-        vector = vector @ probability_matrix
-        if callback is not None and n % 1000 == 0:
-            callback(n, max_right)
-
-    return UniformizationResult(
-        times=times_array,
-        distributions=results,
-        rate=q_rate,
-        iterations=max_right,
-        truncation_error=truncation_error,
+    propagator = TransientPropagator(generator, rate=rate, validate=validate)
+    return propagator.transient(
+        initial_distribution, times, epsilon=epsilon, callback=callback
     )

@@ -39,7 +39,7 @@ import numpy as np
 from scipy.stats import binom
 
 from repro.markov.generator import uniformized_matrix, validate_generator
-from repro.markov.poisson import poisson_weights
+from repro.markov.poisson import cached_poisson_weights
 from repro.markov.uniformization import uniformization_rate
 
 __all__ = [
@@ -117,7 +117,10 @@ def occupation_time_exceeds(
     rate = uniformization_rate(generator)
     probability_matrix = np.asarray(uniformized_matrix(generator, rate), dtype=float)
 
-    windows = {index: poisson_weights(rate * time, epsilon) for index, time, _ in active_queries}
+    windows = {
+        index: cached_poisson_weights(rate * time, epsilon)
+        for index, time, _ in active_queries
+    }
     max_right = max(window.right for window in windows.values())
 
     low_columns = ~high

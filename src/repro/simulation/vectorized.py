@@ -61,11 +61,18 @@ def _step_wells(
     """Advance the KiBaM wells by *dt* at constant *currents* (vectorised)."""
     if c >= 1.0 or k <= 0.0:
         return y1 - currents * dt, y2.copy()
+    # Cancellation-free form of the constant-current solution (see
+    # KineticBatteryModel._available_at): the asymptote contribution is
+    # evaluated as (I/c) t (1 - e^{-k' t})/(k' t), which stays finite and
+    # accurate down to the k -> 0 limit.
     k_prime = k / (c * (1.0 - c))
     delta0 = y2 / (1.0 - c) - y1 / c
-    delta_inf = currents / (c * k_prime)
-    decay = np.exp(-k_prime * dt)
-    delta = delta_inf + (delta0 - delta_inf) * decay
+    x = k_prime * dt
+    growth = -np.expm1(-x)
+    factor = np.ones_like(np.asarray(x, dtype=float))
+    positive = x > 0.0
+    factor = np.divide(growth, x, out=factor, where=positive)
+    delta = delta0 * (1.0 - growth) + (currents / c) * dt * factor
     total = y1 + y2 - currents * dt
     new_y1 = c * total - c * (1.0 - c) * delta
     new_y2 = total - new_y1
