@@ -24,6 +24,10 @@ registered, interchangeable backends --
 Parameter sweeps go through :class:`~repro.engine.ScenarioBatch`, which
 shares chain builds, uniformised matrices and Poisson windows across the
 scenarios and propagates transfer-free capacity sweeps as one blocked pass.
+Large sweeps go one level up through :func:`~repro.engine.run_sweep`
+(declared as a :class:`~repro.engine.SweepSpec` cross-product), which fans
+the scenarios out over worker processes and memoises solved scenarios in a
+fingerprint-keyed :class:`~repro.engine.SweepCache`, in memory or on disk.
 
 Quick start
 -----------
@@ -48,7 +52,8 @@ Sub-packages
 ``repro.battery``
     KiBaM, modified KiBaM, Peukert's law, ideal battery, load profiles.
 ``repro.workload``
-    CTMC workload models (on/off, simple, burst) and a builder.
+    CTMC workload models (on/off, simple, burst, MMPP, duty-cycle, seeded
+    random generation) and a builder.
 ``repro.markov``
     CTMC substrate: sparse-first uniformisation (with the reusable
     :class:`~repro.markov.uniformization.TransientPropagator`), memoised
@@ -98,6 +103,9 @@ from repro.engine import (
     LifetimeProblem,
     LifetimeResult,
     ScenarioBatch,
+    SweepCache,
+    SweepSpec,
+    run_sweep,
     solve_lifetime,
 )
 from repro.simulation import simulate_lifetime_distribution
@@ -105,12 +113,15 @@ from repro.workload import (
     WorkloadBuilder,
     WorkloadModel,
     burst_workload,
+    duty_cycle_workload,
     get_workload,
+    mmpp_workload,
     onoff_workload,
+    random_workload,
     simple_workload,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ConstantLoad",
@@ -127,14 +138,20 @@ __all__ = [
     "PiecewiseConstantLoad",
     "ScenarioBatch",
     "SquareWaveLoad",
+    "SweepCache",
+    "SweepSpec",
     "WorkloadBuilder",
     "WorkloadModel",
     "burst_workload",
     "compute_lifetime_distribution",
+    "duty_cycle_workload",
     "get_workload",
     "lifetime_distribution",
+    "mmpp_workload",
     "onoff_workload",
+    "random_workload",
     "rao_battery_parameters",
+    "run_sweep",
     "simple_workload",
     "simulate_lifetime_distribution",
     "solve_lifetime",

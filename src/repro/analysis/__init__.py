@@ -6,11 +6,15 @@ from repro.analysis.comparison import (
     stochastically_dominates,
 )
 from repro.analysis.convergence import ConvergenceStudy, delta_convergence_study
-from repro.analysis.distribution import LifetimeDistribution
+from repro.analysis.distribution import (
+    IncompleteDistributionWarning,
+    LifetimeDistribution,
+)
 from repro.analysis.report import format_series, format_table
 
 __all__ = [
     "ConvergenceStudy",
+    "IncompleteDistributionWarning",
     "LifetimeDistribution",
     "crossing_time",
     "delta_convergence_study",

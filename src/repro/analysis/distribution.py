@@ -10,11 +10,24 @@ experiments can compare them uniformly.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["LifetimeDistribution"]
+__all__ = [
+    "COMPLETE_MASS_TOLERANCE",
+    "IncompleteDistributionWarning",
+    "LifetimeDistribution",
+]
+
+#: Largest probability mass allowed to be missing at the end of the grid
+#: before a curve counts as truncated (summary statistics then warn/raise).
+COMPLETE_MASS_TOLERANCE = 1e-3
+
+
+class IncompleteDistributionWarning(UserWarning):
+    """The lifetime CDF stops short of 1, so a summary statistic is biased."""
 
 
 @dataclass(frozen=True)
@@ -61,6 +74,20 @@ class LifetimeDistribution:
         """Number of grid points."""
         return int(self.times.size)
 
+    @property
+    def final_mass(self) -> float:
+        """The probability mass the CDF has reached at the last grid point."""
+        return float(self.probabilities[-1])
+
+    def is_complete(self, tolerance: float = COMPLETE_MASS_TOLERANCE) -> bool:
+        """Whether the CDF reaches (within *tolerance* of) 1 on the grid.
+
+        Summary statistics of an incomplete curve only see the captured
+        part of the distribution: the mean is a lower bound and high
+        percentiles may not exist.
+        """
+        return self.final_mass >= 1.0 - float(tolerance)
+
     def probability_empty_at(self, time) -> np.ndarray:
         """Interpolate ``Pr{empty at t}`` at arbitrary time points.
 
@@ -79,18 +106,33 @@ class LifetimeDistribution:
         reached = np.nonzero(self.probabilities >= probability - 1e-12)[0]
         if reached.size == 0:
             raise ValueError(
-                f"the computed curve never reaches probability {probability} "
-                f"(maximum is {self.probabilities[-1]:.4f})"
+                f"the computed curve never reaches probability {probability}: "
+                f"only {self.final_mass:.4f} of the probability mass lies on "
+                f"the time grid (extend the grid to capture the tail)"
             )
         return float(self.times[int(reached[0])])
 
-    def mean_lifetime(self) -> float:
+    def mean_lifetime(self, *, strict: bool = False) -> float:
         """Estimate the mean lifetime as the area above the CDF.
 
         ``E[L] = int_0^inf (1 - F(t)) dt`` is approximated with the
-        trapezoidal rule on the computed grid (extended to start at zero);
-        if the curve does not reach one the result is a lower bound.
+        trapezoidal rule on the computed grid (extended to start at zero).
+        If the curve has not reached ~1 at the end of the grid the missing
+        tail silently biases this estimate low, so an incomplete curve (see
+        :meth:`is_complete`) triggers an :class:`IncompleteDistributionWarning`
+        stating the achieved mass -- or a :class:`ValueError` when
+        ``strict=True``.  The returned value is then a lower bound.
         """
+        if not self.is_complete():
+            message = (
+                f"the lifetime CDF only reaches {self.final_mass:.4f} at the end "
+                f"of the time grid (t = {self.times[-1]:g}); the mean over the "
+                "truncated tail is a lower bound -- extend the grid to capture "
+                "the full distribution"
+            )
+            if strict:
+                raise ValueError(message)
+            warnings.warn(message, IncompleteDistributionWarning, stacklevel=2)
         times = np.concatenate(([0.0], self.times)) if self.times[0] > 0 else self.times
         values = (
             np.concatenate(([0.0], self.probabilities)) if self.times[0] > 0 else self.probabilities

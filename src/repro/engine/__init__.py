@@ -17,6 +17,9 @@ This sub-package puts all of them behind a single interface:
 * :class:`ScenarioBatch` solves many (workload x battery) scenarios in one
   call with shared-work reuse: memoised Poisson windows, cached sparse
   chain builds and blocked propagation of stacked initial vectors;
+* :func:`run_sweep` (with :class:`SweepSpec` and :class:`SweepCache`) fans
+  a sweep out over worker processes and memoises solved scenarios by
+  fingerprint, in memory or on disk, with deterministic result ordering;
 * :func:`deterministic_lifetime` / :func:`discharge_trajectory` cover the
   deterministic load-profile experiments (Table 1, Figure 2) so every
   experiment driver has a single entry layer.
@@ -53,6 +56,13 @@ from repro.engine.registry import (
     solve_lifetime,
 )
 from repro.engine.result import LifetimeResult
+from repro.engine.sweep import (
+    SweepCache,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+    scenario_fingerprint,
+)
 from repro.engine.solvers import (
     AnalyticSolver,
     AutoSolver,
@@ -74,6 +84,9 @@ __all__ = [
     "MonteCarloSolver",
     "ScenarioBatch",
     "SolveWorkspace",
+    "SweepCache",
+    "SweepResult",
+    "SweepSpec",
     "UnknownSolverError",
     "UnsupportedProblemError",
     "available_solvers",
@@ -83,5 +96,7 @@ __all__ = [
     "discharge_trajectory",
     "get_solver",
     "register_solver",
+    "run_sweep",
+    "scenario_fingerprint",
     "solve_lifetime",
 ]

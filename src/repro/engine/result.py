@@ -60,9 +60,17 @@ class LifetimeResult:
         return self.distribution.label
 
     # ------------------------------------------------------------------
-    def mean_lifetime(self) -> float:
-        """Mean lifetime (area above the CDF; a lower bound if it stops short of 1)."""
-        return self.distribution.mean_lifetime()
+    def mean_lifetime(self, *, strict: bool = False) -> float:
+        """Mean lifetime (area above the CDF).
+
+        A truncated curve (one that stops short of probability 1 on the
+        grid) yields a lower bound and triggers an
+        :class:`~repro.analysis.distribution.IncompleteDistributionWarning`
+        stating the achieved mass; with ``strict=True`` it raises instead.
+        The achieved mass is also recorded in ``diagnostics`` as
+        ``cdf_mass_achieved`` / ``cdf_complete``.
+        """
+        return self.distribution.mean_lifetime(strict=strict)
 
     def quantile(self, probability: float) -> float:
         """First grid time at which the CDF reaches *probability*."""

@@ -42,12 +42,26 @@ __all__ = [
     "MonteCarloSolver",
     "MRMUniformizationSolver",
     "build_mrm_result",
+    "cdf_mass_diagnostics",
     "choose_method",
 ]
 
 #: Largest expanded-chain size the ``auto`` dispatcher hands to the
 #: Markovian approximation before falling back to Monte-Carlo.
 MAX_AUTO_MRM_STATES = 200_000
+
+
+def cdf_mass_diagnostics(distribution: LifetimeDistribution) -> dict:
+    """Diagnostics entries describing how much of the CDF the grid captured.
+
+    Every solver records these so that callers (and
+    :meth:`LifetimeResult.summary`) can tell a complete curve from one
+    whose tail was cut off by a too-short time grid.
+    """
+    return {
+        "cdf_mass_achieved": distribution.final_mass,
+        "cdf_complete": distribution.is_complete(),
+    }
 
 
 def build_mrm_result(
@@ -82,7 +96,11 @@ def build_mrm_result(
     return LifetimeResult(
         distribution=distribution,
         method=MRMUniformizationSolver.name,
-        diagnostics={**shared, **(extra_diagnostics or {})},
+        diagnostics={
+            **shared,
+            **cdf_mass_diagnostics(distribution),
+            **(extra_diagnostics or {}),
+        },
     )
 
 
@@ -137,6 +155,7 @@ class AnalyticSolver:
                 "effective_capacity_as": problem.battery.available_capacity,
                 "epsilon": problem.epsilon,
                 "wall_seconds": elapsed,
+                **cdf_mass_diagnostics(distribution),
             },
         )
 
@@ -217,6 +236,7 @@ class MonteCarloSolver:
                 "horizon": simulation.horizon,
                 "mean_lifetime_seconds": simulation.mean_lifetime,
                 "wall_seconds": elapsed,
+                **cdf_mass_diagnostics(distribution),
             },
         )
 

@@ -1,0 +1,502 @@
+"""Parallel, cache-backed scenario sweeps.
+
+:class:`~repro.engine.batch.ScenarioBatch` shares work *within* one
+process; this module fans a sweep out *across* worker processes and adds a
+persistent result cache on top:
+
+* :class:`SweepSpec` describes a sweep declaratively as a cross-product
+  over workloads x batteries x discretisation steps x solver methods, with
+  one independent child RNG stream per scenario (derived in scenario order
+  with :func:`repro.simulation.rng.spawn_seeds`, so results do not depend
+  on the number of workers or their completion order);
+* :class:`SweepCache` memoises solved scenarios in memory and, optionally,
+  on disk, keyed by a fingerprint built on
+  :meth:`~repro.engine.problem.LifetimeProblem.chain_key` plus every
+  solver-relevant knob -- a re-run of the same spec is answered without
+  solving anything;
+* :func:`run_sweep` executes a sweep: scenarios that share an expanded
+  chain are kept in the same chunk (so each worker retains the
+  blocked-uniformisation merging of :class:`ScenarioBatch`), chunks are
+  distributed over a :class:`concurrent.futures.ProcessPoolExecutor`, and
+  the results are reassembled in scenario order regardless of which worker
+  finished first.
+
+Serial execution (``max_workers=1``) routes through exactly the same
+chunking and :class:`ScenarioBatch` machinery in-process, so parallel and
+serial sweeps produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.battery.parameters import KiBaMParameters
+from repro.engine.batch import BatchResult, ScenarioBatch
+from repro.engine.problem import LifetimeProblem
+from repro.engine.result import LifetimeResult
+from repro.engine.solvers import MRMUniformizationSolver, choose_method
+from repro.engine.workspace import SolveWorkspace
+from repro.simulation.rng import DEFAULT_SEED, spawn_seeds
+from repro.workload.base import WorkloadModel
+
+__all__ = [
+    "SweepCache",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
+    "scenario_fingerprint",
+]
+
+
+#: Solvers whose results do not depend on (seed, n_runs, horizon); their
+#: cache fingerprints omit those knobs, so e.g. re-running a grown
+#: :class:`SweepSpec` (whose per-position child seeds shift) still hits the
+#: cache for every unchanged deterministic scenario.
+DETERMINISTIC_METHODS = frozenset({"analytic", MRMUniformizationSolver.name})
+
+
+def scenario_fingerprint(problem: LifetimeProblem, method: str) -> str:
+    """Return a stable hex fingerprint of one (scenario, solver) pair.
+
+    The fingerprint covers everything the solution depends on -- the
+    expanded-chain identity (:meth:`LifetimeProblem.chain_key`), the time
+    grid and the per-method tuning knobs -- but *not* the label, so
+    relabelled copies of a scenario share one cache entry; the stochastic
+    knobs (seed, n_runs, horizon) are included only for solvers outside
+    :data:`DETERMINISTIC_METHODS`.  *method* should be a concrete solver
+    name (resolve ``"auto"`` with
+    :func:`~repro.engine.solvers.choose_method` first), otherwise the same
+    scenario solved via ``auto`` and via its concrete solver would be cached
+    twice.
+    """
+    if str(method) in DETERMINISTIC_METHODS:
+        stochastic_knobs = ()
+    else:
+        stochastic_knobs = (
+            int(problem.n_runs),
+            int(problem.seed),
+            None if problem.horizon is None else float(problem.horizon),
+        )
+    key = (
+        problem.chain_key(),
+        str(method),
+        problem.times.tobytes(),
+        float(problem.epsilon),
+        stochastic_knobs,
+    )
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """Fingerprint-keyed cache of solved scenarios.
+
+    Results live in an in-memory dictionary; when *directory* is given they
+    are additionally pickled to ``<directory>/<fingerprint>.pkl`` so later
+    processes (or later sweep runs) can reuse them.  Entries are keyed with
+    :func:`scenario_fingerprint`; anything that changes the solution --
+    workload, battery, step size, grid, epsilon, seed, method -- changes
+    the key, so stale hits are impossible without hash collisions.
+
+    The on-disk format is plain :mod:`pickle`; only point the cache at
+    directories you trust.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self._memory: dict[str, LifetimeResult] = {}
+        self._directory = os.fspath(directory) if directory is not None else None
+        if self._directory is not None:
+            os.makedirs(self._directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, fingerprint: str) -> str:
+        assert self._directory is not None
+        return os.path.join(self._directory, f"{fingerprint}.pkl")
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> LifetimeResult | None:
+        """Return the cached result for *fingerprint*, or ``None``."""
+        result = self._memory.get(fingerprint)
+        if result is None and self._directory is not None:
+            try:
+                with open(self._path(fingerprint), "rb") as handle:
+                    result = pickle.load(handle)
+            except (FileNotFoundError, EOFError, pickle.UnpicklingError):
+                result = None
+            else:
+                self._memory[fingerprint] = result
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: LifetimeResult) -> None:
+        """Store *result* under *fingerprint* (atomically on disk)."""
+        self._memory[fingerprint] = result
+        if self._directory is None:
+            return
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=self._directory, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(result, handle)
+            os.replace(handle.name, self._path(fingerprint))
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+
+    def stats(self) -> dict:
+        """Return hit/miss counters and the number of entries held."""
+        return {"entries": len(self._memory), "hits": self.hits, "misses": self.misses}
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: the cross-product of scenario axes.
+
+    Attributes
+    ----------
+    workloads:
+        The workload axis; models, or catalog names resolved with
+        :func:`repro.workload.catalog.get_workload`.
+    batteries:
+        The battery-parameter axis.
+    times:
+        Shared evaluation time grid (seconds).
+    deltas:
+        Discretisation-step axis; ``None`` entries select the default step.
+    methods:
+        Solver axis (registry keys, ``"auto"`` allowed).
+    epsilon, n_runs, horizon:
+        Tuning knobs shared by every scenario.
+    seed:
+        Base seed; every scenario receives its own child seed via
+        :func:`~repro.simulation.rng.spawn_seeds`, in scenario order, so
+        stochastic solvers are reproducible independent of worker count.
+    """
+
+    workloads: Sequence[WorkloadModel | str]
+    batteries: Sequence[KiBaMParameters]
+    times: Sequence[float] | np.ndarray
+    deltas: Sequence[float | None] = (None,)
+    methods: Sequence[str] = ("auto",)
+    epsilon: float = 1e-8
+    n_runs: int = 1000
+    horizon: float | None = None
+    seed: int = DEFAULT_SEED
+
+    def __len__(self) -> int:
+        return (
+            len(list(self.workloads))
+            * len(list(self.batteries))
+            * len(list(self.deltas))
+            * len(list(self.methods))
+        )
+
+    # ------------------------------------------------------------------
+    def scenarios(self) -> tuple[list[LifetimeProblem], list[str]]:
+        """Expand the cross-product into (problems, methods), scenario order.
+
+        The order is workload-major: workloads x batteries x deltas x
+        methods, matching the nesting of the attributes.  Labels name every
+        axis value so result curves are self-describing.
+        """
+        from repro.workload.catalog import get_workload
+
+        resolved: list[tuple[str, WorkloadModel]] = []
+        for entry in self.workloads:
+            if isinstance(entry, str):
+                resolved.append((entry, get_workload(entry)))
+            else:
+                resolved.append((entry.description or f"workload-{len(resolved)}", entry))
+        batteries = list(self.batteries)
+        deltas = list(self.deltas)
+        methods = [str(method) for method in self.methods]
+        if not resolved or not batteries or not deltas or not methods:
+            raise ValueError("every sweep axis needs at least one value")
+
+        count = len(resolved) * len(batteries) * len(deltas) * len(methods)
+        seeds = spawn_seeds(self.seed, count)
+
+        problems: list[LifetimeProblem] = []
+        scenario_methods: list[str] = []
+        times = np.asarray(self.times, dtype=float)
+        for workload_name, workload in resolved:
+            for battery in batteries:
+                for delta in deltas:
+                    for method in methods:
+                        label = (
+                            f"{workload_name} | C={battery.capacity:g}, "
+                            f"c={battery.c:g}, k={battery.k:g}"
+                        )
+                        if delta is not None:
+                            label += f" | Delta={float(delta):g}"
+                        if len(methods) > 1:
+                            label += f" | {method}"
+                        problems.append(
+                            LifetimeProblem(
+                                workload=workload,
+                                battery=battery,
+                                times=times,
+                                delta=None if delta is None else float(delta),
+                                epsilon=float(self.epsilon),
+                                n_runs=int(self.n_runs),
+                                seed=seeds[len(problems)],
+                                horizon=self.horizon,
+                                label=label,
+                            )
+                        )
+                        scenario_methods.append(method)
+        return problems, scenario_methods
+
+
+@dataclass(frozen=True, eq=False)
+class SweepResult(BatchResult):
+    """Results of :func:`run_sweep`, in scenario order.
+
+    Identical in shape to :class:`~repro.engine.batch.BatchResult`; the
+    sweep-level ``diagnostics`` additionally report worker counts, cache
+    hits and which scenarios were served from the cache.
+    """
+
+    @property
+    def labels(self) -> list[str]:
+        """The scenario labels, in scenario order."""
+        return [result.label for result in self.results]
+
+
+# ----------------------------------------------------------------------
+def _chain_group_key(problem: LifetimeProblem, method: str) -> tuple:
+    """Chunking key: scenarios with equal keys can share an expanded chain.
+
+    Mirrors the merge keys of :meth:`ScenarioBatch.run` so that chain-mates
+    are never split across worker processes (splitting them would forfeit
+    the blocked-uniformisation merge each worker performs locally).
+    """
+    if method != MRMUniformizationSolver.name:
+        return ("solo", method, id(problem))
+    if problem.has_transfer:
+        return ("identical", problem.chain_key(), float(problem.epsilon))
+    return (
+        "stacked",
+        problem.workload_fingerprint(),
+        float(problem.battery.c),
+        float(problem.battery.k),
+        float(problem.effective_delta),
+        float(problem.epsilon),
+    )
+
+
+def _estimated_cost(problem: LifetimeProblem, method: str) -> float:
+    """Crude per-scenario cost estimate used to balance worker chunks."""
+    if method == MRMUniformizationSolver.name:
+        return float(problem.estimated_mrm_states()) * float(problem.times.size)
+    if method == "monte-carlo":
+        return float(problem.n_runs) * 100.0
+    return float(problem.workload.n_states) * float(problem.times.size) * 10.0
+
+
+def _partition(
+    scenarios: list[tuple[int, LifetimeProblem, str]], n_chunks: int
+) -> list[list[tuple[list[int], str, list[LifetimeProblem]]]]:
+    """Split scenarios into at most *n_chunks* chunks of chain-sharing groups.
+
+    Scenarios are first grouped by :func:`_chain_group_key`; whole groups
+    are then assigned to the least-loaded chunk (longest-processing-time
+    greedy on the estimated cost).  The assignment depends only on the
+    scenario list, so it is deterministic.
+    """
+    groups: dict[tuple, list[tuple[int, LifetimeProblem, str]]] = {}
+    for index, problem, method in scenarios:
+        groups.setdefault(_chain_group_key(problem, method), []).append(
+            (index, problem, method)
+        )
+
+    weighted = sorted(
+        groups.values(),
+        key=lambda members: (
+            -sum(_estimated_cost(problem, method) for _, problem, method in members),
+            members[0][0],
+        ),
+    )
+    n_chunks = max(1, min(n_chunks, len(weighted)))
+    loads = [0.0] * n_chunks
+    chunks: list[list[tuple[list[int], str, list[LifetimeProblem]]]] = [
+        [] for _ in range(n_chunks)
+    ]
+    for members in weighted:
+        slot = loads.index(min(loads))
+        loads[slot] += sum(_estimated_cost(problem, method) for _, problem, method in members)
+        # Within a group every scenario has the same method by construction
+        # of the group key (solo groups are singletons).
+        indices = [index for index, _, _ in members]
+        problems = [problem for _, problem, _ in members]
+        chunks[slot].append((indices, members[0][2], problems))
+    return [chunk for chunk in chunks if chunk]
+
+
+def _solve_chunk(
+    chunk: list[tuple[list[int], str, list[LifetimeProblem]]],
+) -> list[tuple[int, LifetimeResult]]:
+    """Worker entry point: solve one chunk of chain-sharing groups.
+
+    Runs in a worker process (must stay module-level picklable).  All
+    groups of the chunk share one workspace, so chains, propagators and
+    Poisson windows are reused across groups exactly as in a serial batch.
+    """
+    workspace = SolveWorkspace()
+    solved: list[tuple[int, LifetimeResult]] = []
+    for indices, method, problems in chunk:
+        outcome = ScenarioBatch(problems).run(method, workspace=workspace)
+        solved.extend(zip(indices, outcome.results))
+    return solved
+
+
+def _with_diagnostics(result: LifetimeResult, extra: dict) -> LifetimeResult:
+    """Return *result* with *extra* merged into its diagnostics."""
+    return replace(result, diagnostics={**result.diagnostics, **extra})
+
+
+def _relabelled(result: LifetimeResult, problem: LifetimeProblem) -> LifetimeResult:
+    """Re-attach the scenario's label to a cache-served result."""
+    label = problem.label
+    if not label or result.label == label:
+        return result
+    return replace(result, distribution=result.distribution.relabel(label))
+
+
+def default_worker_count() -> int:
+    """Return the default fan-out: the CPUs available to this process."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without CPU affinity (macOS, Windows)
+        return os.cpu_count() or 1
+
+
+def run_sweep(
+    scenarios: SweepSpec | ScenarioBatch | Iterable[LifetimeProblem],
+    method: str = "auto",
+    *,
+    max_workers: int | None = None,
+    cache: SweepCache | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> SweepResult:
+    """Solve a scenario sweep, fanning uncached work out over processes.
+
+    Parameters
+    ----------
+    scenarios:
+        A :class:`SweepSpec` (which carries per-scenario solver methods), a
+        :class:`ScenarioBatch`, or an iterable of
+        :class:`LifetimeProblem` objects.
+    method:
+        Registry key applied to every scenario when *scenarios* is not a
+        :class:`SweepSpec`; ``"auto"`` resolves per scenario.
+    max_workers:
+        Worker-process count; ``None`` uses the CPUs available to this
+        process and ``1`` solves everything in-process (same code path,
+        identical results).
+    cache:
+        Optional :class:`SweepCache`.  Scenarios found in the cache are not
+        solved again; their results carry ``diagnostics["cache_hit"] ==
+        True``.  Freshly solved scenarios are stored back and carry
+        ``cache_hit == False``.
+    cache_dir:
+        Convenience: directory for a disk-backed cache, used only when
+        *cache* is ``None``.
+
+    Returns
+    -------
+    SweepResult
+        Results in scenario order -- independent of worker count and
+        completion order -- plus sweep-level diagnostics (``n_workers``,
+        ``n_chunks``, ``cache_hits``, ``wall_seconds``, ...).
+    """
+    started = time.perf_counter()
+    if cache is None and cache_dir is not None:
+        cache = SweepCache(cache_dir)
+
+    if isinstance(scenarios, SweepSpec):
+        problems, methods = scenarios.scenarios()
+    else:
+        if isinstance(scenarios, ScenarioBatch):
+            problems = scenarios.problems
+        else:
+            problems = list(scenarios)
+        methods = [method] * len(problems)
+    if not problems:
+        raise ValueError("a sweep needs at least one scenario")
+
+    # Resolve "auto" up front so cache keys and chunk groups see concrete
+    # solver names (choose_method is deterministic in the problem).
+    concrete = [
+        choose_method(problem) if name == "auto" else name
+        for problem, name in zip(problems, methods)
+    ]
+
+    results: list[LifetimeResult | None] = [None] * len(problems)
+    fingerprints: list[str | None] = [None] * len(problems)
+    pending: list[tuple[int, LifetimeProblem, str]] = []
+    cache_hits = 0
+    for index, (problem, name) in enumerate(zip(problems, concrete)):
+        if cache is not None:
+            fingerprint = scenario_fingerprint(problem, name)
+            fingerprints[index] = fingerprint
+            hit = cache.get(fingerprint)
+            if hit is not None:
+                results[index] = _with_diagnostics(
+                    _relabelled(hit, problem), {"cache_hit": True}
+                )
+                cache_hits += 1
+                continue
+        pending.append((index, problem, name))
+
+    if max_workers is None:
+        max_workers = default_worker_count()
+    max_workers = max(1, int(max_workers))
+
+    chunks = _partition(pending, max_workers) if pending else []
+    parallel = max_workers > 1 and len(chunks) > 1
+    if parallel:
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            solved_chunks = list(pool.map(_solve_chunk, chunks))
+    else:
+        solved_chunks = [_solve_chunk(chunk) for chunk in chunks]
+
+    for solved in solved_chunks:
+        for index, result in solved:
+            result = _with_diagnostics(result, {"cache_hit": False})
+            results[index] = result
+            if cache is not None:
+                fingerprint = fingerprints[index]
+                assert fingerprint is not None
+                cache.put(fingerprint, result)
+
+    diagnostics = {
+        "n_scenarios": len(problems),
+        "n_solved": len(pending),
+        "cache_hits": cache_hits,
+        "n_workers": len(chunks) if parallel else 1,
+        "n_chunks": len(chunks),
+        "parallel": parallel,
+        "methods": sorted(set(concrete)),
+        "wall_seconds": time.perf_counter() - started,
+    }
+    if cache is not None:
+        diagnostics["cache"] = cache.stats()
+    return SweepResult(results=tuple(results), diagnostics=diagnostics)

@@ -4,8 +4,11 @@ Every curve an experiment needs is obtained through the unified solver
 engine (:mod:`repro.engine`): the helpers here only translate the drivers'
 historical (workload, battery, delta, times) vocabulary into
 :class:`~repro.engine.problem.LifetimeProblem` objects and pick the solver
-backend.  Sweeps go through :class:`~repro.engine.batch.ScenarioBatch` so
-chain builds, uniformised matrices and Poisson windows are shared.
+backend.  Sweeps go through :func:`repro.engine.run_sweep`, which keeps the
+shared-work reuse of :class:`~repro.engine.batch.ScenarioBatch` (chain
+builds, uniformised matrices, Poisson windows) and can additionally fan the
+scenarios out over worker processes (``ExperimentConfig.workers`` /
+``REPRO_WORKERS``).
 """
 
 from __future__ import annotations
@@ -16,7 +19,13 @@ import numpy as np
 
 from repro.analysis.distribution import LifetimeDistribution
 from repro.battery.parameters import KiBaMParameters
-from repro.engine import LifetimeProblem, ScenarioBatch, SolveWorkspace, solve_lifetime
+from repro.engine import (
+    LifetimeProblem,
+    ScenarioBatch,
+    SolveWorkspace,
+    run_sweep,
+    solve_lifetime,
+)
 from repro.workload.base import WorkloadModel
 
 __all__ = [
@@ -79,11 +88,16 @@ def approximation_curves(
     *,
     label_format: str = "Delta={delta:g}",
     epsilon: float = 1e-8,
+    workers: int = 1,
 ) -> list[LifetimeDistribution]:
-    """Run the Markovian approximation for several step sizes (as one batch)."""
+    """Run the Markovian approximation for several step sizes (as one sweep).
+
+    With ``workers > 1`` the step sizes are solved in parallel worker
+    processes; the results are identical to a serial run.
+    """
     base = lifetime_problem(workload, battery, times, delta=float(deltas[0]), epsilon=epsilon)
     batch = ScenarioBatch.over_deltas(base, [float(d) for d in deltas], label_format=label_format)
-    return batch.run("mrm-uniformization").distributions
+    return run_sweep(batch, "mrm-uniformization", max_workers=workers).distributions
 
 
 def simulation_curve(

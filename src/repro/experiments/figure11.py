@@ -19,7 +19,7 @@ import numpy as np
 from repro.analysis.report import format_series
 from repro.battery.parameters import KiBaMParameters
 from repro.battery.units import coulombs_from_milliamp_hours
-from repro.engine import ScenarioBatch
+from repro.engine import ScenarioBatch, run_sweep
 from repro.experiments.common import lifetime_problem
 from repro.experiments.registry import ExperimentConfig, ExperimentResult, register_experiment
 from repro.workload.burst import burst_workload
@@ -50,7 +50,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         lifetime_problem(workload, battery, times, delta=delta, label=label)
         for label, workload in (("simple model", simple), ("burst model", burst))
     )
-    simple_curve, burst_curve = batch.run("mrm-uniformization").distributions
+    simple_curve, burst_curve = run_sweep(
+        batch, "mrm-uniformization", max_workers=config.workers
+    ).distributions
 
     table = format_series([simple_curve, burst_curve], times, time_label="t (h)", time_scale=3600.0)
 

@@ -42,7 +42,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     deltas = [100.0, 50.0, 25.0]
     if config.full:
         deltas += [5.0]
-    curves = approximation_curves(workload, battery, deltas, times)
+    curves = approximation_curves(
+        workload, battery, deltas, times, workers=config.workers
+    )
 
     simulation = simulation_curve(
         workload,

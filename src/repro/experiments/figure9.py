@@ -21,7 +21,7 @@ import numpy as np
 from repro.analysis.comparison import stochastically_dominates
 from repro.analysis.report import format_series
 from repro.battery.parameters import KiBaMParameters, rao_battery_parameters
-from repro.engine import ScenarioBatch
+from repro.engine import ScenarioBatch, run_sweep
 from repro.experiments.common import lifetime_problem
 from repro.experiments.registry import ExperimentConfig, ExperimentResult, register_experiment
 from repro.workload.onoff import onoff_workload
@@ -46,15 +46,18 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         ("C=7200, c=1", KiBaMParameters(capacity=7200.0, c=1.0, k=0.0), single_well_delta),
     ]
 
-    # One engine batch: the two single-well scenarios share the same
-    # transfer-free chain and are propagated as a stacked block.
+    # One engine sweep: the two single-well scenarios share the same
+    # transfer-free chain and are propagated as a stacked block; with
+    # config.workers > 1 the chain groups solve in parallel processes.
     batch = ScenarioBatch(
         lifetime_problem(
             workload, battery, times, delta=delta, label=f"{label} (Delta={delta:g})"
         )
         for label, battery, delta in scenarios
     )
-    curves = batch.run("mrm-uniformization").distributions
+    curves = run_sweep(
+        batch, "mrm-uniformization", max_workers=config.workers
+    ).distributions
 
     table = format_series(curves, times, time_label="t (s)")
     short, middle, long_curve = curves

@@ -31,22 +31,29 @@ class ExperimentConfig:
         curves (the paper uses 1000).
     seed:
         Base seed for all stochastic parts.
+    workers:
+        Worker-process count for the drivers' scenario sweeps (routed
+        through :func:`repro.engine.run_sweep`); ``1`` keeps everything
+        in-process.  ``REPRO_WORKERS`` or ``--workers`` overrides it.
     """
 
     full: bool = False
     n_simulation_runs: int = 1000
     seed: int = 20070625
+    workers: int = 1
 
     @classmethod
     def from_environment(cls) -> "ExperimentConfig":
         """Build a configuration from the ``REPRO_*`` environment variables.
 
-        ``REPRO_FULL=1`` enables the full (slow) settings and
-        ``REPRO_SIM_RUNS`` overrides the number of simulation runs.
+        ``REPRO_FULL=1`` enables the full (slow) settings,
+        ``REPRO_SIM_RUNS`` overrides the number of simulation runs and
+        ``REPRO_WORKERS`` sets the sweep worker-process count.
         """
         full = os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
         runs = int(os.environ.get("REPRO_SIM_RUNS", "1000"))
-        return cls(full=full, n_simulation_runs=runs)
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        return cls(full=full, n_simulation_runs=runs, workers=workers)
 
 
 @dataclass

@@ -2,19 +2,23 @@
 
 ``python -m repro.experiments.runner`` executes every registered experiment
 with the configuration taken from the environment (``REPRO_FULL``,
-``REPRO_SIM_RUNS``) and prints the rendered results; this is the textual
-equivalent of regenerating every table and figure of the paper.  Pass
-experiment names (``python -m repro.experiments.runner figure7 table1``) to
-run a subset, or ``--list`` to enumerate what is registered.
+``REPRO_SIM_RUNS``, ``REPRO_WORKERS``) and prints the rendered results;
+this is the textual equivalent of regenerating every table and figure of
+the paper.  Pass experiment names (``python -m repro.experiments.runner
+figure7 table1``) to run a subset, ``--workers N`` to fan the drivers'
+scenario sweeps out over N worker processes (the results are identical to
+a serial run), or ``--list`` to enumerate what is registered.
 
 All drivers obtain their curves through the unified solver engine
-(:mod:`repro.engine`); this module only handles selection, configuration
-and report rendering.
+(:mod:`repro.engine`) and its parallel sweep layer
+(:func:`repro.engine.run_sweep`); this module only handles selection,
+configuration and report rendering.
 """
 
 from __future__ import annotations
 
 import argparse
+from dataclasses import replace
 
 from repro.experiments.registry import (
     ExperimentConfig,
@@ -55,6 +59,14 @@ def main(argv=None) -> None:
     parser.add_argument(
         "--list", action="store_true", help="list the registered experiments and exit"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the scenario sweeps "
+        "(default: REPRO_WORKERS or 1; results are identical to a serial run)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.list:
@@ -63,6 +75,10 @@ def main(argv=None) -> None:
         return
 
     config = ExperimentConfig.from_environment()
+    if arguments.workers is not None:
+        if arguments.workers < 1:
+            parser.error("--workers must be at least 1")
+        config = replace(config, workers=arguments.workers)
     names = arguments.experiments or available_experiments()
     known = set(available_experiments())
     unknown = [name for name in names if name not in known]

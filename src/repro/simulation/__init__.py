@@ -18,7 +18,7 @@ Figures 7, 8 and 10.  This sub-package provides exactly that machinery:
 
 from repro.simulation.battery_sim import simulate_battery_on_trajectory, simulate_lifetime_once
 from repro.simulation.lifetime_sim import LifetimeSimulationResult, simulate_lifetime_distribution
-from repro.simulation.rng import make_rng, spawn_rngs
+from repro.simulation.rng import make_rng, spawn_rngs, spawn_seeds
 from repro.simulation.statistics import (
     EmpiricalDistribution,
     dkw_confidence_band,
@@ -37,5 +37,6 @@ __all__ = [
     "simulate_lifetime_distribution",
     "simulate_lifetime_once",
     "spawn_rngs",
+    "spawn_seeds",
     "summarize_samples",
 ]

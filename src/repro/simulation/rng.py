@@ -3,15 +3,30 @@
 All stochastic components of the library take a :class:`numpy.random.Generator`
 explicitly; these helpers create such generators from integer seeds and
 spawn independent child streams for parallel or per-run use.
+
+Reproducibility of parallel sweeps
+----------------------------------
+The parallel scenario-sweep layer (:mod:`repro.engine.sweep`) derives one
+child seed per *scenario* -- not per worker process -- with
+:func:`spawn_seeds`, in scenario order, before any work is distributed.
+Because the children of a :class:`numpy.random.SeedSequence` depend only on
+the root seed and the spawn index, every scenario sees the same stream no
+matter how many worker processes run the sweep, in which order they finish,
+or whether the sweep is re-run from a result cache.  Two sweeps over the
+same scenarios with the same base seed are therefore bit-identical, serial
+or parallel.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn_rngs"]
+__all__ = ["make_rng", "spawn_rngs", "spawn_seeds"]
 
-#: Seed used by examples and benchmarks when the caller does not provide one.
+#: Seed used by examples, benchmarks and sweep specifications when the
+#: caller does not provide one (the paper's submission date, 2007-06-25).
+#: Passing ``seed=None`` anywhere in the library selects this value, so
+#: "unseeded" runs are still reproducible.
 DEFAULT_SEED = 20070625
 
 
@@ -19,8 +34,9 @@ def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generat
     """Return a :class:`numpy.random.Generator`.
 
     Passing an existing generator returns it unchanged, an integer seeds a
-    fresh PCG64 generator, and ``None`` uses the library's default seed so
-    that examples and benchmarks are reproducible by default.
+    fresh PCG64 generator, and ``None`` uses the library's default seed
+    (:data:`DEFAULT_SEED`) so that examples and benchmarks are reproducible
+    by default.
     """
     if isinstance(seed, np.random.Generator):
         return seed
@@ -30,8 +46,34 @@ def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generat
 
 
 def spawn_rngs(seed: int | None, count: int) -> list[np.random.Generator]:
-    """Return *count* statistically independent generators derived from *seed*."""
+    """Return *count* statistically independent generators derived from *seed*.
+
+    The children are produced with :meth:`numpy.random.SeedSequence.spawn`,
+    so they are independent of each other and deterministic given *seed*
+    (``None`` selects :data:`DEFAULT_SEED`): child ``i`` is the same stream
+    regardless of how many siblings exist or which process consumes it.
+    """
     if count < 0:
         raise ValueError("count must be non-negative")
     seed_sequence = np.random.SeedSequence(DEFAULT_SEED if seed is None else int(seed))
     return [np.random.default_rng(child) for child in seed_sequence.spawn(count)]
+
+
+def spawn_seeds(seed: int | None, count: int) -> list[int]:
+    """Return *count* independent integer child seeds derived from *seed*.
+
+    The integer form of :func:`spawn_rngs` for components that carry seeds
+    rather than generators (e.g. :class:`repro.engine.problem.LifetimeProblem`):
+    each child seed is drawn from the corresponding
+    :meth:`numpy.random.SeedSequence.spawn` child, so seeding a generator
+    with ``spawn_seeds(s, n)[i]`` is as statistically independent across
+    ``i`` as using ``spawn_rngs(s, n)[i]`` directly, and equally
+    deterministic under parallel execution.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    seed_sequence = np.random.SeedSequence(DEFAULT_SEED if seed is None else int(seed))
+    return [
+        int(child.generate_state(1, dtype=np.uint64)[0])
+        for child in seed_sequence.spawn(count)
+    ]

@@ -14,7 +14,39 @@ import numpy as np
 
 from repro.workload.base import WorkloadModel
 
-__all__ = ["Trajectory", "sample_trajectory"]
+__all__ = ["Trajectory", "cumulative_jump_probabilities", "sample_trajectory"]
+
+
+def cumulative_jump_probabilities(workload: WorkloadModel) -> np.ndarray:
+    """Return the cumulative jump-probability matrix of the embedded chain.
+
+    Row ``s`` is the cumulative distribution of the successor sampled when
+    the CTMC leaves state ``s``: drawing ``u ~ U[0, 1)`` and taking
+    ``searchsorted(row, u, side="right")`` (equivalently, counting the
+    entries ``<= u``) yields the successor index, with zero-width bins --
+    zero-probability successors -- skipped even when ``u`` lands exactly on
+    their boundary.  An absorbing state (``rate <= 0``) self-loops: its row
+    is 0 up to (but excluding) the state's own index and 1 from it on, so
+    every ``u`` maps back to the state itself.  (An all-ones row would map
+    every ``u`` to state 0 instead, silently restarting the workload.)
+
+    Shared by the per-trajectory sampler below and the vectorised
+    Monte-Carlo engine (:mod:`repro.simulation.vectorized`), so the two
+    engines can never diverge in their jump semantics.
+    """
+    generator = workload.generator
+    n = workload.n_states
+    cumulative = np.zeros((n, n))
+    for state in range(n):
+        rate = -generator[state, state]
+        if rate <= 0.0:
+            cumulative[state, state:] = 1.0
+            continue
+        row = generator[state].copy()
+        row[state] = 0.0
+        cumulative[state] = np.cumsum(row / rate)
+        cumulative[state, -1] = 1.0
+    return cumulative
 
 
 @dataclass(frozen=True)
@@ -99,16 +131,7 @@ def sample_trajectory(
     # Pre-compute cumulative jump probabilities per state; sampling a
     # successor then only needs one uniform and a searchsorted, which is far
     # cheaper than numpy.random.Generator.choice in this per-sojourn loop.
-    cumulative_rows = np.zeros((n, n))
-    for source in range(n):
-        rate = exit_rates[source]
-        if rate <= 0.0:
-            cumulative_rows[source] = 1.0
-            continue
-        row = generator[source].copy()
-        row[source] = 0.0
-        cumulative_rows[source] = np.cumsum(row / rate)
-        cumulative_rows[source, -1] = 1.0
+    cumulative_rows = cumulative_jump_probabilities(workload)
 
     if initial_state is None:
         state = int(rng.choice(n, p=workload.initial_distribution))

@@ -28,26 +28,10 @@ import numpy as np
 
 from repro.battery.kibam import KiBaMState, KineticBatteryModel
 from repro.battery.parameters import KiBaMParameters
+from repro.simulation.trajectory import cumulative_jump_probabilities
 from repro.workload.base import WorkloadModel
 
 __all__ = ["simulate_lifetimes_vectorized"]
-
-
-def _cumulative_jump_probabilities(workload: WorkloadModel) -> np.ndarray:
-    """Return the cumulative jump-probability matrix of the embedded chain."""
-    generator = workload.generator
-    n = workload.n_states
-    cumulative = np.zeros((n, n))
-    for state in range(n):
-        rate = -generator[state, state]
-        if rate <= 0.0:
-            cumulative[state] = 1.0
-            continue
-        row = generator[state].copy()
-        row[state] = 0.0
-        cumulative[state] = np.cumsum(row / rate)
-        cumulative[state, -1] = 1.0
-    return cumulative
 
 
 def _step_wells(
@@ -113,7 +97,7 @@ def simulate_lifetimes_vectorized(
 
     exit_rates = -np.diag(workload.generator)
     currents_per_state = workload.currents
-    cumulative = _cumulative_jump_probabilities(workload)
+    cumulative = cumulative_jump_probabilities(workload)
 
     states = rng.choice(workload.n_states, size=n_runs, p=workload.initial_distribution)
     y1 = np.full(n_runs, battery.available_capacity)
@@ -159,7 +143,11 @@ def simulate_lifetimes_vectorized(
         if still_running.size > 0:
             uniforms = rng.random(still_running.size)
             rows = cumulative[states[still_running]]
-            states[still_running] = (uniforms[:, None] > rows).sum(axis=1)
+            # Right-continuous inverse CDF: the count of cumulative values
+            # <= u is the sampled successor index (zero-width bins -- e.g.
+            # zero-probability leading successors -- are skipped even when
+            # u lands exactly on their boundary).
+            states[still_running] = (uniforms[:, None] >= rows).sum(axis=1)
         active = still_running
 
     return lifetimes

@@ -10,6 +10,12 @@ three such models (Section 4.3):
 * the five-state **burst** model that condenses the sending activity
   (:mod:`repro.workload.burst`).
 
+Beyond the paper, three scenario families feed the sweep layer:
+
+* **MMPP** bursty traffic (:mod:`repro.workload.mmpp`),
+* periodic Erlang-K **duty-cycle** schedules (:mod:`repro.workload.dutycycle`),
+* seeded **random** workload generation (:mod:`repro.workload.randomized`).
+
 :mod:`repro.workload.builder` offers a fluent API for defining custom
 models, and :mod:`repro.workload.catalog` a registry of the standard ones.
 """
@@ -17,8 +23,11 @@ models, and :mod:`repro.workload.catalog` a registry of the standard ones.
 from repro.workload.base import WorkloadModel
 from repro.workload.builder import WorkloadBuilder
 from repro.workload.burst import burst_workload
-from repro.workload.catalog import available_workloads, get_workload
+from repro.workload.catalog import available_workloads, get_workload, register_workload
+from repro.workload.dutycycle import duty_cycle_workload
+from repro.workload.mmpp import mmpp_workload
 from repro.workload.onoff import onoff_workload
+from repro.workload.randomized import random_workload
 from repro.workload.simple import simple_workload
 
 __all__ = [
@@ -26,7 +35,11 @@ __all__ = [
     "WorkloadModel",
     "available_workloads",
     "burst_workload",
+    "duty_cycle_workload",
     "get_workload",
+    "mmpp_workload",
     "onoff_workload",
+    "random_workload",
+    "register_workload",
     "simple_workload",
 ]

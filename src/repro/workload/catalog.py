@@ -1,8 +1,10 @@
 """Registry of the standard workload models.
 
 The catalog maps short names to the factory functions of the models used in
-the paper, so that experiment drivers and examples can select a workload by
-name (``get_workload("simple")``).
+the paper -- plus the extended scenario families (MMPP bursty traffic,
+periodic duty cycles, seeded random workloads) -- so that experiment
+drivers, sweep specifications and examples can select a workload by name
+(``get_workload("simple")``, ``get_workload("mmpp")``).
 """
 
 from __future__ import annotations
@@ -11,7 +13,10 @@ from collections.abc import Callable
 
 from repro.workload.base import WorkloadModel
 from repro.workload.burst import burst_workload
+from repro.workload.dutycycle import duty_cycle_workload
+from repro.workload.mmpp import mmpp_workload
 from repro.workload.onoff import onoff_workload
+from repro.workload.randomized import random_workload
 from repro.workload.simple import simple_workload
 
 __all__ = ["available_workloads", "get_workload", "register_workload"]
@@ -20,6 +25,9 @@ _CATALOG: dict[str, Callable[..., WorkloadModel]] = {
     "onoff": onoff_workload,
     "simple": simple_workload,
     "burst": burst_workload,
+    "mmpp": mmpp_workload,
+    "duty-cycle": duty_cycle_workload,
+    "random": random_workload,
 }
 
 

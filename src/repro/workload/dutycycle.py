@@ -1,0 +1,101 @@
+"""Periodic duty-cycle workloads (sense/transmit/sleep schedules).
+
+Wireless sensor nodes rarely draw current at random: firmware runs a fixed
+schedule -- sleep for a while, wake up, sense, transmit, go back to sleep.
+This family models such a schedule as a cyclic CTMC in which every task's
+duration is Erlang-``K`` distributed: with growing ``K`` the task lengths
+concentrate around their means, so the workload interpolates between an
+exponential approximation (``K = 1``) and a nearly deterministic periodic
+schedule (large ``K``) -- the same deterministic limit the paper exploits
+for the on/off square wave, but with arbitrarily many unequal phases.
+"""
+
+from __future__ import annotations
+
+from repro.workload.base import WorkloadModel
+from repro.workload.builder import WorkloadBuilder
+
+__all__ = ["duty_cycle_workload"]
+
+#: Default schedule of a small sensing node: (task, mean seconds, mA).
+DEFAULT_TASKS = (
+    ("sleep", 54.0, 0.1),
+    ("sense", 4.0, 15.0),
+    ("transmit", 2.0, 200.0),
+)
+
+#: Default number of Erlang phases per task.
+DEFAULT_ERLANG_K = 4
+
+
+def duty_cycle_workload(
+    tasks=DEFAULT_TASKS,
+    *,
+    erlang_k: int = DEFAULT_ERLANG_K,
+    start_task: str | None = None,
+) -> WorkloadModel:
+    """Build a cyclic Erlang-``K`` duty-cycle workload.
+
+    Parameters
+    ----------
+    tasks:
+        The schedule, one ``(name, mean_duration_seconds, current_ma)``
+        triple per task, executed cyclically in the given order.  Task
+        names must be unique and durations positive.
+    erlang_k:
+        Number of Erlang phases per task (``K >= 1``); larger values make
+        the task durations more deterministic.
+    start_task:
+        Name of the task the device starts in (first phase); defaults to
+        the first task of the schedule.
+
+    Returns
+    -------
+    WorkloadModel
+        A model with ``K * len(tasks)`` states named ``<task>_1 ..
+        <task>_K``.
+    """
+    schedule = [(str(name), float(duration), float(current)) for name, duration, current in tasks]
+    if not schedule:
+        raise ValueError("a duty-cycle workload needs at least one task")
+    names = [name for name, _, _ in schedule]
+    if len(set(names)) != len(names):
+        raise ValueError("task names must be unique")
+    if any(duration <= 0 for _, duration, _ in schedule):
+        raise ValueError("task durations must be positive")
+    if any(current < 0 for _, _, current in schedule):
+        raise ValueError("task currents must be non-negative")
+    if erlang_k < 1:
+        raise ValueError("the Erlang shape parameter K must be at least 1")
+
+    k = int(erlang_k)
+    period = sum(duration for _, duration, _ in schedule)
+    builder = WorkloadBuilder(
+        time_unit="seconds",
+        description=(
+            f"Erlang-{k} duty-cycle workload, period = {period:g} s, "
+            f"tasks = {', '.join(f'{name} ({duration:g} s)' for name, duration, _ in schedule)}"
+        ),
+    )
+    for name, _, current_ma in schedule:
+        for phase in range(k):
+            builder.add_state(f"{name}_{phase + 1}", current_ma=current_ma)
+
+    n_tasks = len(schedule)
+    for task_index, (name, duration, _) in enumerate(schedule):
+        # K phases with rate K / mean make the task Erlang-K with the
+        # requested mean duration.
+        phase_rate = k / duration
+        next_name = schedule[(task_index + 1) % n_tasks][0]
+        for phase in range(k):
+            source = f"{name}_{phase + 1}"
+            target = f"{name}_{phase + 2}" if phase + 1 < k else f"{next_name}_1"
+            if source == target:
+                continue  # single task, single phase: a constant load
+            builder.add_transition(source, target, rate=phase_rate)
+
+    initial = start_task if start_task is not None else names[0]
+    if initial not in names:
+        raise ValueError(f"start_task {initial!r} is not in the schedule")
+    builder.initial_state(f"{initial}_1")
+    return builder.build()

@@ -1,11 +1,16 @@
 """Tests for the analysis containers, comparison metrics and reports."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.analysis.comparison import crossing_time, kolmogorov_distance, stochastically_dominates
 from repro.analysis.convergence import delta_convergence_study
-from repro.analysis.distribution import LifetimeDistribution
+from repro.analysis.distribution import (
+    IncompleteDistributionWarning,
+    LifetimeDistribution,
+)
 from repro.analysis.report import format_series, format_table
 
 
@@ -44,6 +49,41 @@ class TestLifetimeDistribution:
         times = np.linspace(1.0, 100.0, 200)
         curve = make_curve(times, times / 100.0)
         assert curve.mean_lifetime() == pytest.approx(50.0, rel=0.02)
+
+    def test_complete_curve_mean_is_silent(self):
+        curve = make_curve([1.0, 2.0, 3.0], [0.2, 0.8, 1.0])
+        assert curve.final_mass == 1.0
+        assert curve.is_complete()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            # Trapezoid of 1 - F over [0, 3]: 0.9 + 0.5 + 0.1.
+            assert curve.mean_lifetime() == pytest.approx(1.5)
+
+    def test_truncated_curve_mean_warns_with_achieved_mass(self):
+        curve = make_curve([1.0, 2.0, 3.0], [0.1, 0.3, 0.6])
+        assert not curve.is_complete()
+        with pytest.warns(IncompleteDistributionWarning, match="0.6000"):
+            mean = curve.mean_lifetime()
+        # The warned value is still returned (a lower bound).
+        assert mean > 0
+
+    def test_truncated_curve_mean_strict_raises(self):
+        curve = make_curve([1.0, 2.0], [0.1, 0.4])
+        with pytest.raises(ValueError, match="0.4000"):
+            curve.mean_lifetime(strict=True)
+
+    def test_truncated_quantile_error_names_achieved_mass(self):
+        curve = make_curve([10.0, 20.0], [0.1, 0.2])
+        with pytest.raises(ValueError, match="0.2000"):
+            curve.quantile(0.9)
+
+    def test_near_complete_curve_within_tolerance(self):
+        # 0.9995 is within the default 1e-3 tolerance of a complete CDF.
+        curve = make_curve([1.0, 2.0], [0.5, 0.9995])
+        assert curve.is_complete()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            curve.mean_lifetime()
 
     def test_max_difference_and_relabel(self):
         first = make_curve([0.0, 10.0], [0.0, 1.0], label="a")

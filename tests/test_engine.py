@@ -334,6 +334,88 @@ class TestScenarioBatch:
         with pytest.raises(ValueError):
             ScenarioBatch([])
 
+    def test_merged_results_stay_in_scenario_order(self, onoff):
+        # Shuffled capacities: the blocked pass anchors the chain at the
+        # largest capacity, but the results must come back in the order the
+        # scenarios were given, not in merge or capacity order.
+        times = np.linspace(6000.0, 20000.0, 15)
+        capacities = [6400.0, 7200.0, 5000.0, 6800.0, 5600.0]
+        batteries = [KiBaMParameters(capacity=C, c=1.0, k=0.0) for C in capacities]
+        base = LifetimeProblem(workload=onoff, battery=batteries[0], times=times, delta=100.0)
+        labels = [f"scenario-{C:g}" for C in capacities]
+        batch = ScenarioBatch.over_batteries(base, batteries, labels=labels)
+        outcome = batch.run("mrm-uniformization")
+
+        assert outcome.diagnostics["merged_groups"] == 1
+        assert outcome.diagnostics["stacked_scenarios"] == len(capacities)
+        assert [result.label for result in outcome] == labels
+        # A larger battery lives stochastically longer: Pr{empty at t} is
+        # ordered opposite to capacity at every grid point, which pins each
+        # curve to its scenario.
+        order = np.argsort(capacities)
+        mid = times.size // 2
+        values = [outcome[int(i)].probabilities[mid] for i in order]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_batch_labels_map_to_scenarios(self, onoff):
+        batteries = [KiBaMParameters(capacity=C, c=1.0, k=0.0) for C in (6000.0, 7200.0)]
+        base = LifetimeProblem(
+            workload=onoff,
+            battery=batteries[0],
+            times=np.linspace(6000.0, 20000.0, 9),
+            delta=200.0,
+        )
+        batch = ScenarioBatch.over_batteries(base, batteries)
+        outcome = batch.run("mrm-uniformization")
+        for problem, result in zip(batch.problems, outcome):
+            assert result.label == problem.label
+            assert f"C={problem.battery.capacity:g}" in result.label
+
+    def test_three_solvers_agree_on_shared_sweep(self, onoff):
+        # One small single-well sweep, solved by all three machineries in
+        # one batch each; the curves must agree within solver tolerances
+        # (DKW ~0.05 for 2000 Monte-Carlo runs, coarse-delta bias for MRM).
+        times = np.linspace(8000.0, 18000.0, 11)
+        batteries = [KiBaMParameters(capacity=C, c=1.0, k=0.0) for C in (6000.0, 7200.0)]
+        base = LifetimeProblem(
+            workload=onoff,
+            battery=batteries[0],
+            times=times,
+            delta=10.0,
+            n_runs=2000,
+            seed=1234,
+        )
+        batch = ScenarioBatch.over_batteries(base, batteries)
+        by_method = {
+            method: ScenarioBatch(batch.problems).run(method)
+            for method in ("analytic", "mrm-uniformization", "monte-carlo")
+        }
+        for scenario in range(len(batteries)):
+            exact = by_method["analytic"][scenario].probabilities
+            mrm = by_method["mrm-uniformization"][scenario].probabilities
+            monte_carlo = by_method["monte-carlo"][scenario].probabilities
+            assert float(np.max(np.abs(mrm - exact))) < 0.25
+            assert float(np.max(np.abs(monte_carlo - exact))) < 0.08
+            # The nearly deterministic median agrees much tighter than the
+            # sup-norm for the MRM approximation.
+            mid_exact = by_method["analytic"][scenario].quantile(0.5)
+            mid_mrm = by_method["mrm-uniformization"][scenario].quantile(0.5)
+            assert mid_mrm == pytest.approx(mid_exact, rel=0.05)
+
+    def test_batch_diagnostics_record_cdf_mass(self, onoff):
+        problem = LifetimeProblem(
+            workload=onoff,
+            battery=KiBaMParameters(capacity=720.0, c=1.0, k=0.0),
+            times=[500.0, 1000.0],
+            delta=10.0,
+        )
+        outcome = ScenarioBatch([problem]).run("mrm-uniformization")
+        diagnostics = outcome[0].diagnostics
+        assert diagnostics["cdf_mass_achieved"] == pytest.approx(
+            outcome[0].probabilities[-1]
+        )
+        assert diagnostics["cdf_complete"] is False
+
     def test_result_summary_shape(self, single_well_problem):
         result = solve_lifetime(single_well_problem, "analytic")
         summary = result.summary()

@@ -12,16 +12,31 @@ from repro.simulation.battery_sim import (
     simulate_lifetime_once,
 )
 from repro.simulation.lifetime_sim import simulate_lifetime_distribution
-from repro.simulation.rng import make_rng, spawn_rngs
+from repro.simulation.rng import make_rng, spawn_rngs, spawn_seeds
 from repro.simulation.statistics import (
     EmpiricalDistribution,
     dkw_confidence_band,
     summarize_samples,
 )
-from repro.simulation.trajectory import Trajectory, sample_trajectory
+from repro.simulation.trajectory import (
+    Trajectory,
+    cumulative_jump_probabilities,
+    sample_trajectory,
+)
 from repro.simulation.vectorized import simulate_lifetimes_vectorized
+from repro.workload.base import WorkloadModel
 from repro.workload.onoff import onoff_workload
 from repro.workload.simple import simple_workload
+
+
+def absorbing_workload(*, on_current: float = 1.0, shutdown_rate: float = 0.01) -> WorkloadModel:
+    """A device that draws *on_current* until it shuts down for good."""
+    return WorkloadModel(
+        state_names=("on", "off"),
+        generator=np.array([[-shutdown_rate, shutdown_rate], [0.0, 0.0]]),
+        currents=np.array([on_current, 0.0]),
+        initial_distribution=np.array([1.0, 0.0]),
+    )
 
 
 class TestRng:
@@ -40,6 +55,21 @@ class TestRng:
     def test_spawn_negative_count_rejected(self):
         with pytest.raises(ValueError):
             spawn_rngs(1, -1)
+
+    def test_spawn_seeds_deterministic_and_distinct(self):
+        seeds = spawn_seeds(3, 8)
+        assert seeds == spawn_seeds(3, 8)
+        assert len(set(seeds)) == 8
+        assert all(isinstance(seed, int) for seed in seeds)
+
+    def test_spawn_seeds_prefix_stable(self):
+        # Child i does not depend on how many siblings are spawned, so a
+        # grown sweep keeps the seeds of its existing scenarios.
+        assert spawn_seeds(3, 4) == spawn_seeds(3, 8)[:4]
+
+    def test_spawn_seeds_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
 
 
 class TestStatistics:
@@ -227,3 +257,71 @@ class TestLifetimeDistributionSimulation:
             simulate_lifetimes_vectorized(workload, parameters, 0, make_rng(1), 100.0)
         with pytest.raises(ValueError):
             simulate_lifetimes_vectorized(workload, parameters, 10, make_rng(1), 0.0)
+
+
+class TestAbsorbingWorkloads:
+    """Regression tests: absorbing workload states must self-loop.
+
+    The cumulative jump rows used to be all-ones for states with no exit
+    rate, which the ``(u > row).sum()`` sampling rule decodes as "jump to
+    state 0" -- silently restarting the workload instead of staying put.
+    """
+
+    def test_cumulative_rows_keep_absorbing_state_in_place(self):
+        workload = absorbing_workload()
+        cumulative = cumulative_jump_probabilities(workload)
+        uniforms = np.array([0.0, 0.25, 0.5, 0.999])
+        successors = (uniforms[:, None] >= cumulative[1]).sum(axis=1)
+        assert np.all(successors == 1), "absorbing state must jump to itself"
+        # The non-absorbing state still jumps to its only successor.
+        successors = (uniforms[:, None] >= cumulative[0]).sum(axis=1)
+        assert np.all(successors == 1)
+
+    def test_cumulative_rows_interior_absorbing_state(self):
+        workload = WorkloadModel(
+            state_names=("a", "dead", "b"),
+            generator=np.array(
+                [[-1.0, 0.5, 0.5], [0.0, 0.0, 0.0], [1.0, 1.0, -2.0]]
+            ),
+            currents=np.array([0.1, 0.0, 0.2]),
+            initial_distribution=np.array([1.0, 0.0, 0.0]),
+        )
+        cumulative = cumulative_jump_probabilities(workload)
+        uniforms = np.linspace(0.0, 0.999, 7)
+        successors = (uniforms[:, None] >= cumulative[1]).sum(axis=1)
+        assert np.all(successors == 1)
+
+    def test_vectorized_lifetimes_with_absorbing_workload(self):
+        # Single-well battery, 20 As at 1 A: runs still in the on-state at
+        # t = 20 s die then; runs absorbed into the zero-current off-state
+        # before that survive forever.  Pr{die} = exp(-0.01 * 20).
+        workload = absorbing_workload(on_current=1.0, shutdown_rate=0.01)
+        parameters = KiBaMParameters(capacity=20.0, c=1.0, k=0.0)
+        samples = simulate_lifetimes_vectorized(
+            workload, parameters, 4000, make_rng(17), horizon=500.0
+        )
+        finite = np.isfinite(samples)
+        assert np.all(samples[finite] == pytest.approx(20.0))
+        assert finite.mean() == pytest.approx(np.exp(-0.2), abs=0.02)
+
+    def test_vectorized_matches_trajectory_engine_with_absorption(self):
+        workload = absorbing_workload(on_current=0.5, shutdown_rate=0.02)
+        parameters = KiBaMParameters(capacity=30.0, c=0.625, k=1e-3)
+        horizon = 800.0
+        vector_samples = simulate_lifetimes_vectorized(
+            workload, parameters, 3000, make_rng(21), horizon
+        )
+        battery = KineticBatteryModel(parameters)
+        rng = make_rng(22)
+        scalar_samples = np.array(
+            [
+                simulate_lifetime_once(workload, battery, rng, horizon=horizon)
+                for _ in range(3000)
+            ]
+        )
+        vector_deaths = np.isfinite(vector_samples)
+        scalar_deaths = np.isfinite(scalar_samples)
+        assert vector_deaths.mean() == pytest.approx(scalar_deaths.mean(), abs=0.03)
+        assert vector_samples[vector_deaths].mean() == pytest.approx(
+            scalar_samples[scalar_deaths].mean(), rel=0.05
+        )

@@ -8,7 +8,10 @@ from repro.workload.base import WorkloadModel
 from repro.workload.builder import WorkloadBuilder
 from repro.workload.burst import burst_workload
 from repro.workload.catalog import available_workloads, get_workload, register_workload
+from repro.workload.dutycycle import duty_cycle_workload
+from repro.workload.mmpp import mmpp_workload
 from repro.workload.onoff import onoff_workload
+from repro.workload.randomized import random_workload
 from repro.workload.simple import simple_workload
 
 
@@ -192,10 +195,156 @@ class TestBurstModel:
         assert burst_model.generator[on_idle, on_send] * SECONDS_PER_HOUR == pytest.approx(182.0)
 
 
+class TestMMPPModel:
+    def test_default_structure(self):
+        model = mmpp_workload()
+        assert model.state_names == ("idle@quiet", "send@quiet", "idle@burst", "send@burst")
+        assert model.currents[model.state_index("send@burst")] == pytest.approx(0.2)
+        assert model.initial_distribution[model.state_index("idle@quiet")] == 1.0
+
+    def test_arrival_and_modulation_rates(self):
+        model = mmpp_workload(
+            arrival_rates_per_hour=(2.0, 120.0),
+            modulation_rates_per_hour=(1.0, 6.0),
+        )
+        per_hour = model.generator * SECONDS_PER_HOUR
+        idle_q = model.state_index("idle@quiet")
+        send_q = model.state_index("send@quiet")
+        idle_b = model.state_index("idle@burst")
+        send_b = model.state_index("send@burst")
+        assert per_hour[idle_q, send_q] == pytest.approx(2.0)
+        assert per_hour[idle_b, send_b] == pytest.approx(120.0)
+        # Phase switching applies to both sub-states, preserving them.
+        assert per_hour[idle_q, idle_b] == pytest.approx(1.0)
+        assert per_hour[send_q, send_b] == pytest.approx(1.0)
+        assert per_hour[idle_b, idle_q] == pytest.approx(6.0)
+
+    def test_burst_phase_sends_more(self):
+        model = mmpp_workload()
+        steady = model.steady_state()
+        send_given_quiet = steady[1] / (steady[0] + steady[1])
+        send_given_burst = steady[3] / (steady[2] + steady[3])
+        assert send_given_burst > 2 * send_given_quiet
+        assert send_given_burst > 0.9
+
+    def test_three_phases_need_explicit_modulation(self):
+        with pytest.raises(ValueError):
+            mmpp_workload(arrival_rates_per_hour=(1.0, 2.0, 3.0))
+        modulation = [[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]]
+        model = mmpp_workload(
+            arrival_rates_per_hour=(1.0, 2.0, 3.0),
+            modulation_rates_per_hour=modulation,
+        )
+        assert model.n_states == 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            mmpp_workload(arrival_rates_per_hour=(-1.0, 2.0))
+        with pytest.raises(ValueError):
+            mmpp_workload(send_rate_per_hour=0.0)
+        with pytest.raises(ValueError):
+            mmpp_workload(phase_names=("only-one",))
+
+
+class TestDutyCycleModel:
+    def test_default_schedule_structure(self):
+        model = duty_cycle_workload()
+        assert model.n_states == 12  # three tasks x four phases
+        assert model.state_names[0] == "sleep_1"
+        assert model.initial_distribution[0] == 1.0
+
+    def test_occupancy_matches_schedule(self):
+        model = duty_cycle_workload(
+            [("sleep", 54.0, 0.1), ("sense", 4.0, 15.0), ("transmit", 2.0, 200.0)],
+            erlang_k=3,
+        )
+        steady = model.steady_state()
+        occupancy = {}
+        for name, probability in zip(model.state_names, steady):
+            task = name.rsplit("_", 1)[0]
+            occupancy[task] = occupancy.get(task, 0.0) + probability
+        assert occupancy["sleep"] == pytest.approx(54.0 / 60.0)
+        assert occupancy["sense"] == pytest.approx(4.0 / 60.0)
+        assert occupancy["transmit"] == pytest.approx(2.0 / 60.0)
+
+    def test_mean_current_is_duration_weighted(self):
+        tasks = [("sleep", 90.0, 0.0), ("burst", 10.0, 100.0)]
+        model = duty_cycle_workload(tasks, erlang_k=2)
+        assert model.mean_current() == pytest.approx(0.1 * 0.1, rel=1e-6)  # 10 mA duty-weighted
+
+    def test_phase_rates_give_requested_means(self):
+        model = duty_cycle_workload([("a", 10.0, 1.0), ("b", 5.0, 2.0)], erlang_k=4)
+        # Each of the 4 phases of task "a" is left with rate 4/10 per second.
+        a1 = model.state_index("a_1")
+        assert -model.generator[a1, a1] == pytest.approx(0.4)
+
+    def test_start_task_selection(self):
+        model = duty_cycle_workload(start_task="transmit")
+        assert model.initial_distribution[model.state_index("transmit_1")] == 1.0
+        with pytest.raises(ValueError):
+            duty_cycle_workload(start_task="unknown")
+
+    def test_single_state_constant_load(self):
+        model = duty_cycle_workload([("on", 10.0, 100.0)], erlang_k=1)
+        assert model.n_states == 1
+        assert model.generator[0, 0] == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            duty_cycle_workload([])
+        with pytest.raises(ValueError):
+            duty_cycle_workload([("a", 0.0, 1.0)])
+        with pytest.raises(ValueError):
+            duty_cycle_workload([("a", 1.0, 1.0), ("a", 2.0, 1.0)])
+        with pytest.raises(ValueError):
+            duty_cycle_workload(erlang_k=0)
+
+
+class TestRandomWorkload:
+    def test_deterministic_given_seed(self):
+        first = random_workload(5, seed=11)
+        second = random_workload(5, seed=11)
+        assert np.array_equal(first.generator, second.generator)
+        assert np.array_equal(first.currents, second.currents)
+        assert np.array_equal(first.initial_distribution, second.initial_distribution)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            random_workload(5, seed=11).generator, random_workload(5, seed=12).generator
+        )
+
+    def test_irreducible_for_many_seeds(self):
+        for seed in range(10):
+            model = random_workload(6, seed=seed)
+            steady = model.steady_state()
+            assert np.all(steady > 0), f"seed {seed} gave a reducible chain"
+
+    def test_always_has_a_consumer(self):
+        for seed in range(10):
+            model = random_workload(4, seed=seed, current_range_ma=(0.0, 10.0))
+            assert model.currents.max() >= 0.005  # at least 5 mA (upper half)
+
+    def test_single_state(self):
+        model = random_workload(1, seed=3)
+        assert model.n_states == 1
+        assert model.generator[0, 0] == 0.0
+        assert model.currents[0] > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_workload(0)
+        with pytest.raises(ValueError):
+            random_workload(3, mean_rate_per_hour=0.0)
+        with pytest.raises(ValueError):
+            random_workload(3, current_range_ma=(5.0, 5.0))
+        with pytest.raises(ValueError):
+            random_workload(3, extra_edge_probability=1.5)
+
+
 class TestCatalog:
     def test_available_names(self):
         names = available_workloads()
-        assert {"onoff", "simple", "burst"}.issubset(names)
+        assert {"onoff", "simple", "burst", "mmpp", "duty-cycle", "random"}.issubset(names)
 
     def test_get_with_arguments(self):
         model = get_workload("onoff", frequency=2.0, erlang_k=3)
