@@ -113,10 +113,9 @@ def place_initial_distribution(grid: RewardGrid, workload, available: float, bou
     j1 = grid.level_of(available, dimension=1)
     j2 = grid.level_of(bound, dimension=2) if grid.two_dimensional else 0
     initial = np.zeros(grid.n_expanded_states(workload.n_states))
-    for state in range(workload.n_states):
-        mass = float(workload.initial_distribution[state])
-        if mass > 0.0:
-            initial[int(grid.flat_index(state, j1, j2))] += mass
+    masses = np.asarray(workload.initial_distribution, dtype=float)
+    states = np.nonzero(masses > 0.0)[0]
+    np.add.at(initial, grid.flat_index(states, j1, j2), masses[states])
     return initial
 
 
@@ -130,9 +129,11 @@ def _transfer_rates(grid: RewardGrid, c: float, k: float) -> tuple[np.ndarray, n
     level2 = np.arange(1, grid.n_levels2, dtype=np.int64)
     if level1.size == 0 or level2.size == 0:
         return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0))
-    j1_mesh, j2_mesh = np.meshgrid(level1, level2, indexing="ij")
-    rates = k * (j2_mesh / (1.0 - c) - j1_mesh / c)
+    rates = k * (level2[None, :] / (1.0 - c) - level1[:, None] / c)
     positive = rates > 0.0
+    shape = (level1.size, level2.size)
+    j1_mesh = np.broadcast_to(level1[:, None], shape)
+    j2_mesh = np.broadcast_to(level2[None, :], shape)
     return j1_mesh[positive], j2_mesh[positive], rates[positive]
 
 
@@ -163,36 +164,35 @@ def discretize(model: KiBaMRM, delta: float) -> DiscretizedKiBaMRM:
     j2_flat = j2_mesh.ravel()
 
     # 1. Workload transitions (copied at every non-absorbing reward level).
-    generator = workload.generator
-    for source in range(n_workload):
-        for target in range(n_workload):
-            if source == target:
-                continue
-            rate = float(generator[source, target])
-            if rate <= 0.0:
-                continue
-            rows.append(grid.flat_index(source, j1_flat, j2_flat))
-            cols.append(grid.flat_index(target, j1_flat, j2_flat))
-            vals.append(np.full(j1_flat.size, rate))
+    #    All positive off-diagonal rates at once: broadcasting the (source,
+    #    target) pairs against the grid cells replaces the former per-pair
+    #    Python loop, so model construction no longer dominates small-delta
+    #    builds.
+    off_diag = np.asarray(workload.generator, dtype=float).copy()
+    np.fill_diagonal(off_diag, 0.0)
+    sources, targets = np.nonzero(off_diag > 0.0)
+    if sources.size > 0:
+        rows.append(grid.flat_index(sources[:, None], j1_flat[None, :], j2_flat[None, :]).ravel())
+        cols.append(grid.flat_index(targets[:, None], j1_flat[None, :], j2_flat[None, :]).ravel())
+        vals.append(np.repeat(off_diag[sources, targets], j1_flat.size))
 
     # 2. Consumption transitions: one charge quantum leaves the available well.
-    for state in range(n_workload):
-        current = float(workload.currents[state])
-        if current <= 0.0:
-            continue
-        rows.append(grid.flat_index(state, j1_flat, j2_flat))
-        cols.append(grid.flat_index(state, j1_flat - 1, j2_flat))
-        vals.append(np.full(j1_flat.size, current / grid.delta))
+    currents = np.asarray(workload.currents, dtype=float)
+    drawing = np.nonzero(currents > 0.0)[0]
+    if drawing.size > 0:
+        rows.append(grid.flat_index(drawing[:, None], j1_flat[None, :], j2_flat[None, :]).ravel())
+        cols.append(grid.flat_index(drawing[:, None], j1_flat[None, :] - 1, j2_flat[None, :]).ravel())
+        vals.append(np.repeat(currents[drawing] / grid.delta, j1_flat.size))
 
     # 3. Transfer transitions: one charge quantum moves from the bound to the
     #    available well.  The rate k (h2 - h1) / Delta = k (j2/(1-c) - j1/c)
     #    does not depend on the workload state.
     transfer_j1, transfer_j2, transfer_rate = _transfer_rates(grid, model.battery.c, model.battery.k)
     if transfer_j1.size > 0:
-        for state in range(n_workload):
-            rows.append(grid.flat_index(state, transfer_j1, transfer_j2))
-            cols.append(grid.flat_index(state, transfer_j1 + 1, transfer_j2 - 1))
-            vals.append(transfer_rate)
+        states = np.arange(n_workload, dtype=np.int64)
+        rows.append(grid.flat_index(states[:, None], transfer_j1[None, :], transfer_j2[None, :]).ravel())
+        cols.append(grid.flat_index(states[:, None], transfer_j1[None, :] + 1, transfer_j2[None, :] - 1).ravel())
+        vals.append(np.tile(transfer_rate, n_workload))
 
     if rows:
         row_array = np.concatenate(rows)

@@ -115,10 +115,17 @@ class KiBaMRM:
         return -current + transfer, -transfer
 
     def reward_rate_matrix(self, available: float, bound: float) -> np.ndarray:
-        """Return the ``N x 2`` reward-rate matrix ``R(y1, y2)``."""
+        """Return the ``N x 2`` reward-rate matrix ``R(y1, y2)``.
+
+        The transfer term is shared by every workload state, so the matrix
+        is assembled in one vectorised pass over the per-state currents.
+        """
         rates = np.zeros((self.n_states, 2))
-        for state in range(self.n_states):
-            rates[state] = self.reward_rates(state, available, bound)
+        if available <= 0.0:
+            return rates
+        transfer = self.transfer_rate(available, bound)
+        rates[:, 0] = -np.asarray(self.workload.currents, dtype=float) + transfer
+        rates[:, 1] = -transfer
         return rates
 
     def initial_state(self) -> KiBaMState:

@@ -83,7 +83,9 @@ class LifetimeSolver:
         return self._propagator
 
     # ------------------------------------------------------------------
-    def empty_probabilities(self, times, *, epsilon: float = 1e-8) -> np.ndarray:
+    def empty_probabilities(
+        self, times, *, epsilon: float = 1e-8, transient_mode: str = "incremental"
+    ) -> np.ndarray:
         """Return ``Pr{battery empty at t}`` for every ``t`` in *times*."""
         if self._empty_projection is None:
             projection = np.zeros(self._discretized.n_states)
@@ -94,17 +96,29 @@ class LifetimeSolver:
             times,
             epsilon=epsilon,
             projection=self._empty_projection,
+            mode=transient_mode,
         )
         self._last_iterations = result.iterations
         self._last_rate = result.rate
+        self._last_transient = result
         return np.clip(np.asarray(result.values[0], dtype=float), 0.0, 1.0)
 
-    def solve(self, times, *, epsilon: float = 1e-8, label: str | None = None) -> LifetimeDistribution:
+    def solve(
+        self,
+        times,
+        *,
+        epsilon: float = 1e-8,
+        label: str | None = None,
+        transient_mode: str = "incremental",
+    ) -> LifetimeDistribution:
         """Return the lifetime distribution on the given time grid."""
         times_array = np.asarray(times, dtype=float)
-        probabilities = self.empty_probabilities(times_array, epsilon=epsilon)
+        probabilities = self.empty_probabilities(
+            times_array, epsilon=epsilon, transient_mode=transient_mode
+        )
         if label is None:
             label = f"approximation (delta={self._delta:g})"
+        transient = getattr(self, "_last_transient", None)
         metadata = {
             "method": "markovian-approximation",
             "delta": self._delta,
@@ -113,6 +127,9 @@ class LifetimeSolver:
             "uniformization_rate": getattr(self, "_last_rate", None),
             "iterations": getattr(self, "_last_iterations", None),
             "epsilon": epsilon,
+            "transient_mode": transient_mode,
+            "iterations_saved": getattr(transient, "iterations_saved", None),
+            "steady_state_time": getattr(transient, "steady_state_time", None),
         }
         return LifetimeDistribution(
             times=times_array,
@@ -140,6 +157,7 @@ def lifetime_distribution(
     *,
     epsilon: float = 1e-8,
     label: str | None = None,
+    transient_mode: str = "incremental",
 ) -> LifetimeDistribution:
     """One-shot Markovian approximation of the battery lifetime distribution.
 
@@ -156,6 +174,10 @@ def lifetime_distribution(
         Truncation error bound of the uniformisation.
     label:
         Optional curve label for reports.
+    transient_mode:
+        Uniformisation strategy (``"incremental"`` or ``"single-pass"``).
     """
     solver = LifetimeSolver(model, delta)
-    return solver.solve(times, epsilon=epsilon, label=label)
+    return solver.solve(
+        times, epsilon=epsilon, label=label, transient_mode=transient_mode
+    )

@@ -40,10 +40,43 @@ from repro.analysis.distribution import LifetimeDistribution
 from repro.core.discretization import DiscretizedKiBaMRM, place_initial_distribution
 from repro.engine.problem import LifetimeProblem
 from repro.engine.result import LifetimeResult
-from repro.engine.solvers import MRMUniformizationSolver, build_mrm_result, choose_method
+from repro.engine.solvers import (
+    MRMUniformizationSolver,
+    build_mrm_result,
+    choose_method,
+    transient_diagnostics,
+)
 from repro.engine.workspace import SolveWorkspace
 
-__all__ = ["BatchResult", "ScenarioBatch"]
+__all__ = ["BatchResult", "ScenarioBatch", "chain_merge_key"]
+
+
+def chain_merge_key(problem: LifetimeProblem) -> tuple:
+    """Grouping key: MRM scenarios with equal keys can share an expanded chain.
+
+    Chains with transfer only merge when truly identical; transfer-free
+    chains merge across capacities (see the module docstring for why that
+    merge is exact).  Used both by :meth:`ScenarioBatch.run` (to form the
+    blocked-uniformisation groups) and by the sweep partitioner (so
+    chain-mates are never split across worker processes) -- keep it the
+    single source of truth for what may share one transient solve.
+    """
+    if problem.has_transfer:
+        return (
+            "identical",
+            problem.chain_key(),
+            float(problem.epsilon),
+            problem.transient_mode,
+        )
+    return (
+        "stacked",
+        problem.workload_fingerprint(),
+        float(problem.battery.c),
+        float(problem.battery.k),
+        float(problem.effective_delta),
+        float(problem.epsilon),
+        problem.transient_mode,
+    )
 
 
 @dataclass(frozen=True, eq=False)
@@ -151,20 +184,7 @@ class ScenarioBatch:
         for index, (problem, concrete) in enumerate(zip(self._problems, methods)):
             if concrete != mrm_name:
                 continue
-            if problem.has_transfer:
-                # Chains with transfer only merge when truly identical.
-                key = ("identical", problem.chain_key(), float(problem.epsilon))
-            else:
-                # Transfer-free chains merge across capacities.
-                key = (
-                    "stacked",
-                    problem.workload_fingerprint(),
-                    float(problem.battery.c),
-                    float(problem.battery.k),
-                    float(problem.effective_delta),
-                    float(problem.epsilon),
-                )
-            groups.setdefault(key, []).append(index)
+            groups.setdefault(chain_merge_key(problem), []).append(index)
 
         merged_groups = 0
         stacked_scenarios = 0
@@ -227,6 +247,7 @@ class ScenarioBatch:
             merged_times,
             epsilon=float(group[0].epsilon),
             projection=ws.empty_projection(chain, key),
+            mode=group[0].transient_mode,
         )
         elapsed = time.perf_counter() - started
 
@@ -241,6 +262,7 @@ class ScenarioBatch:
                     rate=transient.rate,
                     iterations=transient.iterations,
                     extra_diagnostics={
+                        **transient_diagnostics(transient),
                         "batched": True,
                         "batch_size": len(group),
                         "batch_rows": len(stack),

@@ -44,6 +44,7 @@ __all__ = [
     "build_mrm_result",
     "cdf_mass_diagnostics",
     "choose_method",
+    "transient_diagnostics",
 ]
 
 #: Largest expanded-chain size the ``auto`` dispatcher hands to the
@@ -61,6 +62,22 @@ def cdf_mass_diagnostics(distribution: LifetimeDistribution) -> dict:
     return {
         "cdf_mass_achieved": distribution.final_mass,
         "cdf_complete": distribution.is_complete(),
+    }
+
+
+def transient_diagnostics(transient) -> dict:
+    """Diagnostics entries describing one uniformisation transient solve.
+
+    Shared by the individual MRM solver and the batched scenario runner so
+    both report the fast-path telemetry (mode, segment count, steady-state
+    detection point and the products it saved) under the same keys.
+    """
+    return {
+        "transient_mode": transient.mode,
+        "n_segments": transient.n_segments,
+        "iterations_saved": transient.iterations_saved,
+        "steady_state_time": transient.steady_state_time,
+        "steady_state_iteration": transient.steady_state_iteration,
     }
 
 
@@ -183,6 +200,7 @@ class MRMUniformizationSolver:
             problem.times,
             epsilon=problem.epsilon,
             projection=ws.empty_projection(chain, key),
+            mode=problem.transient_mode,
         )
         return build_mrm_result(
             problem,
@@ -190,7 +208,10 @@ class MRMUniformizationSolver:
             transient.values[0],
             rate=transient.rate,
             iterations=transient.iterations,
-            extra_diagnostics={"wall_seconds": time.perf_counter() - started},
+            extra_diagnostics={
+                **transient_diagnostics(transient),
+                "wall_seconds": time.perf_counter() - started,
+            },
         )
 
 

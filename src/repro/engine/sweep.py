@@ -40,7 +40,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.battery.parameters import KiBaMParameters
-from repro.engine.batch import BatchResult, ScenarioBatch
+from repro.engine.batch import BatchResult, ScenarioBatch, chain_merge_key
 from repro.engine.problem import LifetimeProblem
 from repro.engine.result import LifetimeResult
 from repro.engine.solvers import MRMUniformizationSolver, choose_method
@@ -76,7 +76,12 @@ def scenario_fingerprint(problem: LifetimeProblem, method: str) -> str:
     name (resolve ``"auto"`` with
     :func:`~repro.engine.solvers.choose_method` first), otherwise the same
     scenario solved via ``auto`` and via its concrete solver would be cached
-    twice.
+    twice.  The uniformisation ``transient_mode`` is deliberately *not*
+    part of the key: both strategies agree within ``epsilon``, so switching
+    the mode must not invalidate the deterministic cache.  The flip side:
+    a sweep meant to *cross-check* the two modes against each other must
+    run with ``cache=None`` (or distinct caches), otherwise the second
+    mode is served the first mode's cached results verbatim.
     """
     if str(method) in DETERMINISTIC_METHODS:
         stochastic_knobs = ()
@@ -188,6 +193,10 @@ class SweepSpec:
         Base seed; every scenario receives its own child seed via
         :func:`~repro.simulation.rng.spawn_seeds`, in scenario order, so
         stochastic solvers are reproducible independent of worker count.
+    transient_mode:
+        Uniformisation strategy shared by every scenario
+        (``"incremental"`` or ``"single-pass"``); excluded from the cache
+        fingerprints, which stay stable across modes.
     """
 
     workloads: Sequence[WorkloadModel | str]
@@ -199,6 +208,7 @@ class SweepSpec:
     n_runs: int = 1000
     horizon: float | None = None
     seed: int = DEFAULT_SEED
+    transient_mode: str = "incremental"
 
     def __len__(self) -> int:
         return (
@@ -259,6 +269,7 @@ class SweepSpec:
                                 seed=seeds[len(problems)],
                                 horizon=self.horizon,
                                 label=label,
+                                transient_mode=self.transient_mode,
                             )
                         )
                         scenario_methods.append(method)
@@ -284,22 +295,15 @@ class SweepResult(BatchResult):
 def _chain_group_key(problem: LifetimeProblem, method: str) -> tuple:
     """Chunking key: scenarios with equal keys can share an expanded chain.
 
-    Mirrors the merge keys of :meth:`ScenarioBatch.run` so that chain-mates
-    are never split across worker processes (splitting them would forfeit
-    the blocked-uniformisation merge each worker performs locally).
+    Delegates to :func:`~repro.engine.batch.chain_merge_key` (the single
+    source of truth for what may share one blocked transient solve) so
+    that chain-mates are never split across worker processes -- splitting
+    them would forfeit the blocked-uniformisation merge each worker
+    performs locally.
     """
     if method != MRMUniformizationSolver.name:
         return ("solo", method, id(problem))
-    if problem.has_transfer:
-        return ("identical", problem.chain_key(), float(problem.epsilon))
-    return (
-        "stacked",
-        problem.workload_fingerprint(),
-        float(problem.battery.c),
-        float(problem.battery.k),
-        float(problem.effective_delta),
-        float(problem.epsilon),
-    )
+    return chain_merge_key(problem)
 
 
 def _estimated_cost(problem: LifetimeProblem, method: str) -> float:

@@ -30,7 +30,13 @@ from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["PoissonWeights", "cached_poisson_weights", "fox_glynn", "poisson_weights"]
+__all__ = [
+    "PoissonWeights",
+    "cached_poisson_weights",
+    "fox_glynn",
+    "poisson_weights",
+    "truncation_points",
+]
 
 
 @dataclass(frozen=True)
@@ -70,14 +76,19 @@ class PoissonWeights:
         return float(np.sum(self.weights))
 
 
-def _truncation_points(rate: float, epsilon: float) -> tuple[int, int]:
+def truncation_points(rate: float, epsilon: float) -> tuple[int, int]:
     """Return conservative left/right truncation points for rate *rate*.
 
     The bounds follow the usual normal-approximation argument used by
     Fox--Glynn: the window is centred at the mode and extends a number of
     standard deviations that grows with ``log(1/epsilon)``.  The exact mass
     outside the window is then measured (and re-normalised away) by the
-    caller, so the points only need to be safe, not tight.
+    caller, so the points only need to be safe, not tight.  The realised
+    :func:`fox_glynn` window can only *shrink* from these points (tiny
+    weights are trimmed), which makes the right point a cheap upper bound
+    on the number of products a window can cost -- the incremental
+    transient solver uses it to budget its steady-state detection
+    threshold without building any weights.
     """
     if rate < 0:
         raise ValueError(f"Poisson rate must be non-negative, got {rate}")
@@ -116,7 +127,7 @@ def fox_glynn(rate: float, epsilon: float = 1e-12) -> PoissonWeights:
     if rate == 0.0:
         return PoissonWeights(left=0, right=0, weights=np.array([1.0]), rate=0.0)
 
-    left, right = _truncation_points(rate, epsilon)
+    left, right = truncation_points(rate, epsilon)
     size = right - left + 1
     weights = np.empty(size, dtype=float)
     mode = min(max(int(math.floor(rate)), left), right)

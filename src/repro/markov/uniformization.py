@@ -9,12 +9,35 @@ the uniformised DTMC matrix ``P = I + Q/q``:
    \\pi(t) \\;=\\; \\sum_{n=0}^{\\infty}
         e^{-qt} \\frac{(qt)^n}{n!} \\; \\alpha P^n .
 
-The implementation supports **many output time points in a single pass**:
-the vector sequence ``v_n = alpha P^n`` is generated once, up to the largest
-right truncation point, and every requested time point accumulates the terms
-that fall inside its own Poisson window.  This is essential for the battery
-experiments, where a full lifetime CDF over 50--200 time points is needed
-for chains with up to a million states.
+The implementation supports **many output time points** and two evaluation
+strategies, selected with the ``mode`` argument of the solve calls:
+
+* ``"incremental"`` (the default) sorts and deduplicates the time grid and
+  propagates ``pi(t_j)`` from ``pi(t_{j-1})`` with Poisson rate
+  ``q (t_j - t_{j-1})``, so the work per segment scales with the *gap*
+  between neighbouring time points instead of restarting from ``t = 0``
+  for the largest time.  On top of that, the iteration monitors the
+  per-step change ``||v P - v||_1``: once the distribution stops changing
+  (for the battery chains this happens shortly after depletion, because
+  the empty states are absorbing) the remaining Poisson tail -- and every
+  remaining segment -- collapses to a closed-form completion.  Because
+  ``P`` is row-stochastic the 1-norm change is non-increasing, so the
+  default detection threshold (half the truncation bound divided by the
+  number of remaining products, the other half being spent on the window
+  truncations) keeps the total per-point error below ``epsilon``.  Long horizons after
+  depletion become nearly free; the savings are reported in the result's
+  ``iterations_saved`` / ``steady_state_time`` diagnostics.
+* ``"single-pass"`` is the classical multi-time-point sweep: the vector
+  sequence ``v_n = alpha P^n`` is generated once, up to the largest right
+  truncation point, and every requested time point accumulates the terms
+  that fall inside its own Poisson window.  It is kept as a cross-check
+  baseline for the incremental path (and for callers that prefer the
+  single shared error bound per time point).
+
+Both paths share the same vectorised weight accumulation: the per-iteration
+work touches only the windows that are active at term ``n`` (one fancy-index
+lookup into the concatenated weight table), and projection products are
+skipped entirely before the first active window.
 
 Two further reuse levers are exposed for the engine layer:
 
@@ -30,13 +53,18 @@ Two further reuse levers are exposed for the engine layer:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.markov.generator import as_csr, validate_generator
-from repro.markov.poisson import PoissonWeights, cached_poisson_weights
+from repro.markov.poisson import (
+    PoissonWeights,
+    cached_poisson_weights,
+    truncation_points,
+)
 
 __all__ = [
     "BatchTransientResult",
@@ -51,6 +79,10 @@ __all__ = [
 #: uniformised matrix has strictly positive diagonal entries, which makes the
 #: iteration aperiodic and numerically benign.
 RATE_SAFETY_FACTOR = 1.02
+
+#: The supported evaluation strategies of the transient solvers.
+TRANSIENT_MODES = ("incremental", "single-pass")
+
 
 
 @dataclass
@@ -70,6 +102,15 @@ class UniformizationResult:
         Number of vector--matrix products that were performed.
     truncation_error:
         Upper bound on the neglected Poisson mass, per time point.
+    mode:
+        Evaluation strategy (``"incremental"`` or ``"single-pass"``).
+    iterations_saved:
+        Vector--matrix products avoided by steady-state detection.
+    steady_state_time:
+        Time point during whose segment the iteration was detected to have
+        converged (``None`` when detection never fired).
+    steady_state_iteration:
+        Global product count at which convergence was detected.
     """
 
     times: np.ndarray
@@ -77,6 +118,10 @@ class UniformizationResult:
     rate: float
     iterations: int
     truncation_error: np.ndarray
+    mode: str = "incremental"
+    iterations_saved: int = 0
+    steady_state_time: float | None = None
+    steady_state_iteration: int | None = None
 
     def at(self, time: float) -> np.ndarray:
         """Return the distribution computed for time point *time*."""
@@ -104,7 +149,21 @@ class BatchTransientResult:
     iterations:
         Number of block--matrix products that were performed.
     truncation_error:
-        Upper bound on the neglected Poisson mass, per time point.
+        Upper bound on the neglected Poisson mass, per time point.  For the
+        incremental mode this bound is cumulative over the segment chain up
+        to each time point.
+    mode:
+        Evaluation strategy (``"incremental"`` or ``"single-pass"``).
+    n_segments:
+        Number of distinct propagation segments (deduplicated time points).
+    iterations_saved:
+        Block--matrix products avoided by steady-state detection (a
+        conservative estimate for segments skipped entirely).
+    steady_state_time:
+        Time point during whose segment convergence was detected, or
+        ``None``.
+    steady_state_iteration:
+        Global product count at which convergence was detected, or ``None``.
     """
 
     times: np.ndarray
@@ -112,6 +171,11 @@ class BatchTransientResult:
     rate: float
     iterations: int
     truncation_error: np.ndarray
+    mode: str = "incremental"
+    n_segments: int = 0
+    iterations_saved: int = 0
+    steady_state_time: float | None = None
+    steady_state_iteration: int | None = None
 
 
 def uniformization_rate(generator, *, safety: float = RATE_SAFETY_FACTOR) -> float:
@@ -218,6 +282,19 @@ class TransientPropagator:
     def _windows(rate: float, times: np.ndarray, epsilon: float) -> list[PoissonWeights]:
         return [cached_poisson_weights(rate * float(t), float(epsilon)) for t in times]
 
+    @staticmethod
+    def _allocate(n_batch: int, n_times: int, n_states: int, proj) -> np.ndarray:
+        if proj is None:
+            return np.zeros((n_batch, n_times, n_states))
+        if proj.ndim == 1:
+            return np.zeros((n_batch, n_times))
+        return np.zeros((n_batch, n_times, proj.shape[1]))
+
+    @staticmethod
+    def _store(results: np.ndarray, index, block: np.ndarray, proj) -> None:
+        """Write the (projected) *block* into the time slot(s) *index*."""
+        results[:, index] = block if proj is None else block @ proj
+
     def transient(
         self,
         initial_distribution,
@@ -225,11 +302,18 @@ class TransientPropagator:
         *,
         epsilon: float = 1e-10,
         callback=None,
+        mode: str = "incremental",
+        steady_state_tol: float | None = None,
     ) -> UniformizationResult:
         """Compute transient state distributions at one or more time points."""
         alpha = np.asarray(initial_distribution, dtype=float).ravel()
         batch = self.transient_batch(
-            alpha[None, :], times, epsilon=epsilon, callback=callback
+            alpha[None, :],
+            times,
+            epsilon=epsilon,
+            callback=callback,
+            mode=mode,
+            steady_state_tol=steady_state_tol,
         )
         return UniformizationResult(
             times=batch.times,
@@ -237,6 +321,10 @@ class TransientPropagator:
             rate=batch.rate,
             iterations=batch.iterations,
             truncation_error=batch.truncation_error,
+            mode=batch.mode,
+            iterations_saved=batch.iterations_saved,
+            steady_state_time=batch.steady_state_time,
+            steady_state_iteration=batch.steady_state_iteration,
         )
 
     def transient_batch(
@@ -247,6 +335,8 @@ class TransientPropagator:
         epsilon: float = 1e-10,
         projection=None,
         callback=None,
+        mode: str = "incremental",
+        steady_state_tol: float | None = None,
     ) -> BatchTransientResult:
         """Propagate a stack of initial distributions in one shared pass.
 
@@ -258,8 +348,12 @@ class TransientPropagator:
         times:
             Scalar or sequence of non-negative time points, shared by all
             scenarios (callers merge their grids and slice the result).
+            Duplicates and arbitrary order are allowed; internally the grid
+            is sorted and deduplicated, and the results are returned in the
+            caller's order.
         epsilon:
-            Bound on the truncation error per time point.
+            Bound on the truncation error per time point (cumulative along
+            the segment chain in incremental mode).
         projection:
             Optional vector ``(n_states,)`` or matrix ``(n_states, m)``.
             When given, only the projected quantities (for example the
@@ -268,18 +362,39 @@ class TransientPropagator:
             ``K x T x n`` to ``K x T (x m)``.
         callback:
             Optional ``callback(iteration, total_iterations)`` hook, invoked
-            every 1000 block products.
+            every 1000 block products (``total_iterations`` is an estimate
+            in incremental mode).
+        mode:
+            ``"incremental"`` (default) or ``"single-pass"``; see the module
+            docstring.
+        steady_state_tol:
+            Per-step 1-norm threshold of the steady-state detector
+            (incremental mode only).  By default the threshold is derived
+            from the remaining product budget so that the accumulated
+            detection error stays below half of *epsilon* (the other half
+            covers the window truncations): because ``P`` is
+            row-stochastic the 1-norm of the per-step change never grows,
+            so freezing after a step change below
+            ``budget / products_remaining`` bounds the total drift by
+            the budget.  Pass an explicit value to override the budget
+            (looser values detect earlier at reduced accuracy), or ``0``
+            to disable detection.
 
         Returns
         -------
         BatchTransientResult
         """
+        if mode not in TRANSIENT_MODES:
+            raise ValueError(
+                f"unknown transient mode {mode!r}; expected one of {TRANSIENT_MODES}"
+            )
         times_array = np.atleast_1d(np.asarray(times, dtype=float))
+        if times_array.ndim != 1:
+            raise ValueError("time points must form a one-dimensional grid")
         if np.any(times_array < 0):
             raise ValueError("time points must be non-negative")
         alphas = np.atleast_2d(np.asarray(initial_distributions, dtype=float))
         self._check_initials(alphas)
-        n_batch = alphas.shape[0]
 
         proj = None
         if projection is not None:
@@ -290,37 +405,229 @@ class TransientPropagator:
                     f"{self.n_states}"
                 )
 
-        windows = self._windows(self._rate, times_array, epsilon)
-        max_right = max(window.right for window in windows)
-        truncation_error = np.array([max(0.0, 1.0 - window.total) for window in windows])
+        # Deduplicate and sort once: repeated time points share one Poisson
+        # window, and the incremental chain requires ascending segments.
+        unique_times, inverse = np.unique(times_array, return_inverse=True)
 
-        if proj is None:
-            results = np.zeros((n_batch, times_array.size, self.n_states))
-        elif proj.ndim == 1:
-            results = np.zeros((n_batch, times_array.size))
+        if mode == "single-pass":
+            solved = self._single_pass(alphas, unique_times, epsilon, proj, callback)
         else:
-            results = np.zeros((n_batch, times_array.size, proj.shape[1]))
+            solved = self._incremental(
+                alphas, unique_times, epsilon, proj, callback, steady_state_tol
+            )
 
+        return BatchTransientResult(
+            times=times_array,
+            values=solved.values[:, inverse],
+            rate=self._rate,
+            iterations=solved.iterations,
+            truncation_error=solved.truncation_error[inverse],
+            mode=mode,
+            n_segments=int(unique_times.size),
+            iterations_saved=solved.iterations_saved,
+            steady_state_time=solved.steady_state_time,
+            steady_state_iteration=solved.steady_state_iteration,
+        )
+
+    # ------------------------------------------------------------------
+    def _single_pass(self, alphas, unique_times, epsilon, proj, callback):
+        """One shared sweep ``v_n = alpha P^n`` feeding every time window."""
+        n_batch = alphas.shape[0]
+        windows = self._windows(self._rate, unique_times, epsilon)
+        lefts = np.array([window.left for window in windows], dtype=np.int64)
+        rights = np.array([window.right for window in windows], dtype=np.int64)
+        max_right = int(rights.max())
+        min_left = int(lefts.min())
+        truncation_error = np.array(
+            [max(0.0, 1.0 - window.total) for window in windows]
+        )
+
+        # Concatenated weight table: the weight of window j at term n is
+        # weight_table[offsets[j] + n] whenever lefts[j] <= n <= rights[j],
+        # which turns the per-iteration window loop into one fancy-index
+        # gather over the active windows.
+        sizes = rights - lefts + 1
+        starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        offsets = starts - lefts
+        weight_table = np.concatenate([window.weights for window in windows])
+
+        results = self._allocate(n_batch, unique_times.size, self.n_states, proj)
         matrix = self._probability_matrix
         block = alphas.copy()
-        for n in range(0, max_right + 1):
-            contribution = block if proj is None else block @ proj
-            for j, window in enumerate(windows):
-                if window.left <= n <= window.right:
-                    results[:, j] += window.weights[n - window.left] * contribution
+        for n in range(max_right + 1):
+            # Projection products (and window updates) are skipped entirely
+            # before the first active window.
+            if n >= min_left:
+                active = np.nonzero((lefts <= n) & (n <= rights))[0]
+                if active.size:
+                    weights = weight_table[offsets[active] + n]
+                    contribution = block if proj is None else block @ proj
+                    if contribution.ndim == 1:
+                        results[:, active] += contribution[:, None] * weights[None, :]
+                    else:
+                        results[:, active] += (
+                            weights[None, :, None] * contribution[:, None, :]
+                        )
             if n == max_right:
                 break
             block = block @ matrix
             if callback is not None and n % 1000 == 0:
                 callback(n, max_right)
 
-        return BatchTransientResult(
-            times=times_array,
+        return _SolvedGrid(
             values=results,
-            rate=self._rate,
             iterations=max_right,
             truncation_error=truncation_error,
         )
+
+    def _incremental(self, alphas, unique_times, epsilon, proj, callback, steady_state_tol):
+        """Chain segments ``pi(t_{j-1}) -> pi(t_j)`` with steady-state detection."""
+        n_batch = alphas.shape[0]
+        n_times = unique_times.size
+        # Split the error budget over the chained segments: every segment
+        # contributes at most one window truncation to each later time point.
+        # Half of the error budget goes to the window truncations (split
+        # across the chained segments), the other half to the steady-state
+        # detection drift, so the two mechanisms together stay below the
+        # caller's epsilon.
+        segment_epsilon = 0.5 * float(epsilon) / max(1, n_times)
+        detection_budget = 0.5 * float(epsilon)
+        fixed_tol = None if steady_state_tol is None else float(steady_state_tol)
+
+        gaps = np.diff(unique_times, prepend=0.0)
+        if fixed_tol is None:
+            # Upper bound on the products each segment can perform: the
+            # Fox--Glynn right truncation point (the realised window can
+            # only be trimmed smaller).  The suffix sums turn the
+            # detection threshold into a per-segment budget that soundly
+            # covers every remaining product of the whole horizon.
+            planned_products = np.array(
+                [
+                    truncation_points(self._rate * float(gap), segment_epsilon)[1]
+                    if gap > 0.0
+                    else 0
+                    for gap in gaps
+                ],
+                dtype=np.int64,
+            )
+            products_after = np.concatenate(
+                (np.cumsum(planned_products[::-1])[::-1][1:], [0])
+            )
+
+        results = self._allocate(n_batch, n_times, self.n_states, proj)
+        truncation_error = np.zeros(n_times)
+        matrix = self._probability_matrix
+
+        current = alphas.copy()
+        converged = False
+        performed = 0
+        saved = 0
+        error_bound = 0.0
+        steady_state_time: float | None = None
+        steady_state_iteration: int | None = None
+        # Callback totals are an estimate: the Poisson mean of the full
+        # horizon (the exact per-segment right points are not known up
+        # front, and may never be reached thanks to detection).
+        estimated_total = int(math.ceil(self._rate * float(unique_times[-1]))) + 1
+
+        for j in range(n_times):
+            gap = float(gaps[j])
+            if gap <= 0.0:
+                # t = 0 (or a numerically identical neighbour): the
+                # distribution is unchanged.
+                self._store(results, j, current, proj)
+                truncation_error[j] = error_bound
+                continue
+            if converged:
+                # The distribution no longer changes; the whole segment is a
+                # closed-form copy.  The skipped products are estimated by
+                # the Poisson mean of the segment (a lower bound on the
+                # window's right truncation point).
+                saved += int(math.ceil(self._rate * gap))
+                self._store(results, j, current, proj)
+                truncation_error[j] = error_bound
+                continue
+
+            window = cached_poisson_weights(self._rate * gap, segment_epsilon)
+            if fixed_tol is None:
+                # Budgeted tolerance: P is row-stochastic, so the 1-norm of
+                # the per-step change never grows; once one step changes by
+                # less than budget / products_remaining, freezing the
+                # distribution keeps the accumulated drift below the
+                # detection budget over the whole remaining horizon.
+                products_remaining = window.right + int(products_after[j])
+                tol = detection_budget / max(1.0, float(products_remaining))
+            else:
+                tol = fixed_tol
+            accumulated = np.zeros_like(current)
+            remaining_mass = 1.0
+            v = current
+            for n in range(window.right + 1):
+                if n >= window.left:
+                    weight = window.weights[n - window.left]
+                    accumulated += weight * v
+                    remaining_mass -= weight
+                if n == window.right:
+                    break
+                v_next = v @ matrix
+                performed += 1
+                if callback is not None and (performed - 1) % 1000 == 0:
+                    callback(performed - 1, estimated_total)
+                if tol > 0.0:
+                    step_change = float(np.max(np.abs(v_next - v).sum(axis=1)))
+                    v = v_next
+                    if step_change < tol:
+                        if n == 0:
+                            # The segment's *starting* vector is already
+                            # invariant under P, so the transient solution
+                            # itself has reached steady state (for the
+                            # battery chains: the absorbing empty states
+                            # have soaked up all the mass).  This segment
+                            # and every later one collapse to a copy.
+                            accumulated = current
+                            saved += window.right - 1
+                            converged = True
+                            steady_state_time = float(unique_times[j])
+                            steady_state_iteration = performed
+                        else:
+                            # The power iterates stopped changing: every
+                            # remaining term of this window evaluates to v,
+                            # so the window tail collapses to its remaining
+                            # Poisson mass.  (This does *not* imply pi(t)
+                            # is stationary -- later segments still run,
+                            # and the global test above decides when the
+                            # whole chain has converged.)
+                            accumulated += max(0.0, remaining_mass) * v
+                            saved += window.right - (n + 1)
+                        break
+                else:
+                    v = v_next
+
+            current = accumulated
+            error_bound += max(0.0, 1.0 - window.total)
+            self._store(results, j, current, proj)
+            truncation_error[j] = error_bound
+
+        return _SolvedGrid(
+            values=results,
+            iterations=performed,
+            truncation_error=truncation_error,
+            iterations_saved=saved,
+            steady_state_time=steady_state_time,
+            steady_state_iteration=steady_state_iteration,
+        )
+
+
+@dataclass
+class _SolvedGrid:
+    """Internal carrier for a solve over the deduplicated, sorted grid."""
+
+    values: np.ndarray
+    iterations: int
+    truncation_error: np.ndarray
+    iterations_saved: int = 0
+    steady_state_time: float | None = None
+    steady_state_iteration: int | None = None
 
 
 def uniformized_transient(
@@ -332,6 +639,8 @@ def uniformized_transient(
     rate: float | None = None,
     validate: bool = True,
     callback=None,
+    mode: str = "incremental",
+    steady_state_tol: float | None = None,
 ) -> UniformizationResult:
     """Compute transient state distributions at one or more time points.
 
@@ -343,5 +652,10 @@ def uniformized_transient(
     """
     propagator = TransientPropagator(generator, rate=rate, validate=validate)
     return propagator.transient(
-        initial_distribution, times, epsilon=epsilon, callback=callback
+        initial_distribution,
+        times,
+        epsilon=epsilon,
+        callback=callback,
+        mode=mode,
+        steady_state_tol=steady_state_tol,
     )
