@@ -12,7 +12,6 @@ of at most 1e-8, and records the measurement in ``BENCH_uniformization.json``
 at the repository root so CI can track the perf trajectory across PRs.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -22,6 +21,7 @@ import pytest
 from repro.battery.parameters import KiBaMParameters
 from repro.core.discretization import discretize
 from repro.core.kibamrm import KiBaMRM
+from repro.experiments.records import write_bench_record
 from repro.markov.uniformization import TransientPropagator
 from repro.workload.base import WorkloadModel
 
@@ -130,7 +130,7 @@ def test_incremental_uniformization_speedup(benchmark):
             "steady_state_time_seconds": fast.steady_state_time,
         },
     }
-    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench_record(RECORD_PATH, record)
     print(
         f"\n{chain.n_states} states, {times.size} time points to t={times[-1]:g} s "
         f"({horizon_ratio:.1f}x depletion): single-pass {single_pass_seconds:.2f} s "

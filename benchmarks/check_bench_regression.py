@@ -1,0 +1,168 @@
+"""CI bench-regression diff: fresh ``BENCH_*.json`` vs the committed baseline.
+
+The benchmark gates assert *absolute* floors (e.g. "incremental must be
+>= 3x faster than single-pass"); a change can clear those floors while
+still giving away most of a previously banked speedup.  This script closes
+that gap: for every record it loads the committed baseline (``git show
+HEAD:<file>`` by default, or ``--baseline-dir``), extracts every numeric
+metric whose key ends in ``speedup``, and fails when the fresh value has
+regressed by more than ``--max-regression`` (default 25%) relative to the
+baseline.
+
+Run it *after* the benchmarks have refreshed the records in the working
+tree::
+
+    python benchmarks/check_bench_regression.py BENCH_uniformization.json \\
+        BENCH_multibattery.json
+
+Picking the baseline ref matters: locally, where the refreshed records are
+still uncommitted, the default ``HEAD`` is the pre-change state.  In CI the
+checked-out commit already *contains* the branch's refreshed records, so
+comparing against ``HEAD`` would be a self-comparison that can never fail
+-- there the workflow passes ``--baseline-ref HEAD^`` (the parent commit:
+the base branch for PR merge refs, the previous tip for pushes; the
+checkout needs ``fetch-depth: 2``).  Records without a baseline (first
+build of a new benchmark, unreachable ref) are skipped with a notice, as
+are metrics present on only one side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+__all__ = ["collect_speedups", "compare_records", "main"]
+
+#: Allowed relative loss of a baseline speedup before the diff fails.
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+def collect_speedups(record: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten *record*, keeping numeric metrics whose key ends in ``speedup``.
+
+    Keys of nested objects are joined with dots (``results.speedup``);
+    bookkeeping fields such as ``required_speedup`` and the ``provenance``
+    block are ignored.
+    """
+    metrics: dict[str, float] = {}
+    for key, value in record.items():
+        if key == "provenance":
+            continue
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            metrics.update(collect_speedups(value, path))
+        elif (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and key.endswith("speedup")
+            and not key.startswith("required")
+        ):
+            metrics[path] = float(value)
+    return metrics
+
+
+def compare_records(
+    baseline: dict, fresh: dict, *, max_regression: float = DEFAULT_MAX_REGRESSION
+) -> list[str]:
+    """Return one failure message per speedup that regressed beyond the bound."""
+    baseline_speedups = collect_speedups(baseline)
+    fresh_speedups = collect_speedups(fresh)
+    failures: list[str] = []
+    for key, old in sorted(baseline_speedups.items()):
+        new = fresh_speedups.get(key)
+        if new is None or old <= 0.0:
+            continue
+        if new < old * (1.0 - max_regression):
+            failures.append(
+                f"{key}: {new:.2f}x is {1.0 - new / old:.0%} below the "
+                f"committed baseline of {old:.2f}x (allowed: {max_regression:.0%})"
+            )
+    return failures
+
+
+def _committed_baseline(name: str, ref: str) -> dict | None:
+    """Load the version of *name* committed at *ref* via ``git show``."""
+    try:
+        completed = subprocess.run(
+            ["git", "show", f"{ref}:{name}"],
+            capture_output=True,
+            text=True,
+            timeout=30.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    try:
+        return json.loads(completed.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a fresh BENCH_*.json lost >25%% of a baseline speedup."
+    )
+    parser.add_argument("records", nargs="+", help="BENCH_*.json files to diff")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="allowed relative speedup loss (default: 0.25)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=None,
+        help="directory holding baseline records (default: git show <ref>:<file>)",
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref the baselines are read from (default: HEAD, for the "
+        "local refresh-then-diff workflow; CI passes HEAD^ because the "
+        "checked-out commit already contains the refreshed records)",
+    )
+    args = parser.parse_args(argv)
+
+    any_failure = False
+    for name in args.records:
+        fresh_path = Path(name)
+        if not fresh_path.exists():
+            print(f"[bench-diff] {name}: no fresh record in the working tree, skipping")
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        if args.baseline_dir is not None:
+            baseline_path = Path(args.baseline_dir) / fresh_path.name
+            baseline = (
+                json.loads(baseline_path.read_text()) if baseline_path.exists() else None
+            )
+        else:
+            baseline = _committed_baseline(name, args.baseline_ref)
+        if baseline is None:
+            print(
+                f"[bench-diff] {name}: no baseline at "
+                f"{args.baseline_dir or args.baseline_ref}, skipping"
+            )
+            continue
+        failures = compare_records(
+            baseline, fresh, max_regression=args.max_regression
+        )
+        baseline_sha = baseline.get("provenance", {}).get("git_commit", "unknown")
+        if failures:
+            any_failure = True
+            print(f"[bench-diff] {name}: REGRESSION vs baseline {baseline_sha[:12]}")
+            for failure in failures:
+                print(f"  - {failure}")
+        else:
+            speedups = collect_speedups(fresh)
+            summary = ", ".join(f"{key}={value:.2f}x" for key, value in sorted(speedups.items()))
+            print(f"[bench-diff] {name}: ok vs baseline {baseline_sha[:12]} ({summary})")
+    return 1 if any_failure else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,14 @@ Large sweeps go one level up through :func:`~repro.engine.run_sweep`
 the scenarios out over worker processes and memoises solved scenarios in a
 fingerprint-keyed :class:`~repro.engine.SweepCache`, in memory or on disk.
 
+Systems powered by a *bank* of batteries go through
+:class:`~repro.multibattery.MultiBatteryProblem`
+(:mod:`repro.multibattery`): per-battery charge grids are composed into a
+product-space CTMC by sparse Kronecker assembly, the load is routed by a
+registered scheduling policy (``static-split`` | ``round-robin`` |
+``best-of``) and system failure is a configurable k-of-N depletion
+predicate -- all solved by the same engine stack.
+
 Quick start
 -----------
 >>> import numpy as np
@@ -49,6 +57,9 @@ Sub-packages
 ``repro.engine``
     The unified lifetime-solver layer: problems, results, the solver
     registry, batched scenario execution and deterministic-profile helpers.
+``repro.multibattery``
+    Multi-battery scheduling: product-space MRMs (sparse Kronecker
+    assembly), the scheduler-policy registry, k-of-N system failure.
 ``repro.battery``
     KiBaM, modified KiBaM, Peukert's law, ideal battery, load profiles.
 ``repro.workload``

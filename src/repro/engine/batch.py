@@ -56,12 +56,16 @@ def chain_merge_key(problem: LifetimeProblem) -> tuple:
 
     Chains with transfer only merge when truly identical; transfer-free
     chains merge across capacities (see the module docstring for why that
-    merge is exact).  Used both by :meth:`ScenarioBatch.run` (to form the
+    merge is exact).  Multi-battery product chains always use the
+    identical-key merge: their chain key covers the whole bank, the policy
+    and the depletion predicate, and the capacity-stacking argument does
+    not carry over (the failed-state set depends on the joint levels).
+    Used both by :meth:`ScenarioBatch.run` (to form the
     blocked-uniformisation groups) and by the sweep partitioner (so
     chain-mates are never split across worker processes) -- keep it the
     single source of truth for what may share one transient solve.
     """
-    if problem.has_transfer:
+    if problem.is_multibattery or problem.has_transfer:
         return (
             "identical",
             problem.chain_key(),
@@ -137,6 +141,22 @@ class ScenarioBatch:
         return cls(
             base.with_delta(float(delta)).with_label(label_format.format(delta=delta))
             for delta in deltas
+        )
+
+    @classmethod
+    def over_policies(cls, base, policies, labels=None) -> "ScenarioBatch":
+        """Sweep a multi-battery base problem over scheduling policies.
+
+        *base* must be a
+        :class:`~repro.multibattery.problem.MultiBatteryProblem`; the
+        *policies* are registry names or policy instances.
+        """
+        policies = list(policies)
+        if labels is None:
+            labels = [getattr(policy, "name", str(policy)) for policy in policies]
+        return cls(
+            base.with_policy(policy).with_label(label)
+            for policy, label in zip(policies, labels)
         )
 
     @property
@@ -249,6 +269,7 @@ class ScenarioBatch:
             projection=ws.empty_projection(chain, key),
             mode=group[0].transient_mode,
         )
+        ws.note_steady_state(key, transient.steady_state_time)
         elapsed = time.perf_counter() - started
 
         results = []
@@ -275,5 +296,10 @@ class ScenarioBatch:
     @staticmethod
     def _initial_vector(chain: DiscretizedKiBaMRM, problem: LifetimeProblem) -> np.ndarray:
         """Place the workload's initial law at the scenario's charge levels."""
+        if problem.is_multibattery:
+            # Bank scenarios only merge on identical chain keys, so every
+            # group member starts from the chain's own initial vector (the
+            # full-charge product cell).
+            return np.asarray(chain.initial_distribution, dtype=float)
         available0, bound0 = problem.model().initial_rewards
         return place_initial_distribution(chain.grid, problem.workload, available0, bound0)

@@ -115,6 +115,24 @@ class LifetimeProblem:
 
     # ------------------------------------------------------------------
     @property
+    def is_multibattery(self) -> bool:
+        """Whether this is a battery-*bank* problem (policy + predicate).
+
+        :class:`~repro.multibattery.problem.MultiBatteryProblem` overrides
+        this to ``True``; solvers and merge keys dispatch on it without
+        importing the multi-battery sub-package.  Note a bank of **one**
+        battery is still a bank -- it assembles a product chain whose key
+        covers the policy and depletion predicate -- so dispatching on
+        ``n_batteries`` alone would be wrong.
+        """
+        return False
+
+    @property
+    def n_batteries(self) -> int:
+        """Number of batteries the problem is about (1 for this class)."""
+        return 1
+
+    @property
     def effective_delta(self) -> float:
         """The discretisation step: the explicit one, or the default."""
         if self.delta is not None:

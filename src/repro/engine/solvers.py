@@ -34,7 +34,12 @@ from repro.engine.problem import LifetimeProblem
 from repro.engine.result import LifetimeResult
 from repro.engine.workspace import SolveWorkspace
 from repro.reward.occupation import two_level_lifetime_cdf
-from repro.simulation.lifetime_sim import simulate_lifetime_distribution
+from repro.simulation.battery_sim import default_horizon
+from repro.simulation.lifetime_sim import (
+    default_system_horizon,
+    simulate_lifetime_distribution,
+    simulate_system_lifetime_distribution,
+)
 
 __all__ = [
     "AnalyticSolver",
@@ -133,7 +138,11 @@ class AnalyticSolver:
     name = "analytic"
 
     def supports(self, problem: LifetimeProblem) -> bool:
-        return problem.n_current_levels <= 2 and not problem.has_transfer
+        return (
+            not problem.is_multibattery
+            and problem.n_current_levels <= 2
+            and not problem.has_transfer
+        )
 
     def solve(
         self, problem: LifetimeProblem, *, workspace: SolveWorkspace | None = None
@@ -202,6 +211,7 @@ class MRMUniformizationSolver:
             projection=ws.empty_projection(chain, key),
             mode=problem.transient_mode,
         )
+        ws.note_steady_state(key, transient.steady_state_time)
         return build_mrm_result(
             problem,
             chain,
@@ -215,25 +225,81 @@ class MRMUniformizationSolver:
         )
 
 
+#: Safety factor applied on top of a detected steady-state time before it
+#: is used as a Monte-Carlo horizon cap: the detection point carries the
+#: discretisation error of the Markovian approximation, so the simulator
+#: keeps a margin past it.  The margin is fixed, not delta-scaled, so on
+#: very coarse grids a capped run can still censor true tail mass -- the
+#: ``censored_runs`` diagnostic is the tell-tale (a materially nonzero
+#: count under a capped horizon means the cap was too tight).
+STEADY_STATE_HORIZON_SAFETY = 1.25
+
+
 class MonteCarloSolver:
-    """Monte-Carlo estimation along sampled workload trajectories."""
+    """Monte-Carlo estimation along sampled workload trajectories.
+
+    Multi-battery problems are dispatched to the vectorised *system*
+    simulator, which samples per-battery trajectories under the problem's
+    scheduling policy.
+
+    When no explicit horizon is given and a previous MRM solve in the same
+    workspace detected the chain's steady state (the lifetime CDF is flat
+    beyond ``steady_state_time``), the default simulation horizon is capped
+    there (plus a safety margin) instead of simulating the flat tail; the
+    cap is recorded in the diagnostics.
+    """
 
     name = "monte-carlo"
 
     def supports(self, problem: LifetimeProblem) -> bool:
         return True
 
+    def _effective_horizon(
+        self, problem: LifetimeProblem, workspace: SolveWorkspace | None
+    ) -> tuple[float | None, dict]:
+        """The horizon to simulate with, and the cap diagnostics."""
+        diagnostics: dict = {"horizon_capped_by_steady_state": False}
+        if problem.horizon is not None:
+            return problem.horizon, diagnostics
+        if workspace is None:
+            return None, diagnostics
+        hint = workspace.steady_state_hint(problem.chain_key())
+        if hint is None:
+            return None, diagnostics
+        diagnostics["steady_state_horizon_hint"] = hint
+        cap = STEADY_STATE_HORIZON_SAFETY * hint
+        if problem.is_multibattery:
+            default = default_system_horizon(problem.workload, problem.batteries)
+        else:
+            default = default_horizon(problem.workload, KineticBatteryModel(problem.battery))
+        if cap >= default:
+            return None, diagnostics
+        diagnostics["horizon_capped_by_steady_state"] = True
+        return cap, diagnostics
+
     def solve(
         self, problem: LifetimeProblem, *, workspace: SolveWorkspace | None = None
     ) -> LifetimeResult:
         started = time.perf_counter()
-        simulation = simulate_lifetime_distribution(
-            problem.workload,
-            KineticBatteryModel(problem.battery),
-            n_runs=problem.n_runs,
-            seed=problem.seed,
-            horizon=problem.horizon,
-        )
+        horizon, horizon_diagnostics = self._effective_horizon(problem, workspace)
+        if problem.is_multibattery:
+            simulation = simulate_system_lifetime_distribution(
+                problem.workload,
+                problem.batteries,
+                problem.policy,
+                failures_to_die=problem.failures_to_die,
+                n_runs=problem.n_runs,
+                seed=problem.seed,
+                horizon=horizon,
+            )
+        else:
+            simulation = simulate_lifetime_distribution(
+                problem.workload,
+                KineticBatteryModel(problem.battery),
+                n_runs=problem.n_runs,
+                seed=problem.seed,
+                horizon=horizon,
+            )
         probabilities = np.asarray(simulation.cdf(problem.times), dtype=float)
         elapsed = time.perf_counter() - started
 
@@ -256,7 +322,9 @@ class MonteCarloSolver:
                 "seed": problem.seed,
                 "horizon": simulation.horizon,
                 "mean_lifetime_seconds": simulation.mean_lifetime,
+                "censored_runs": int(np.isinf(simulation.samples).sum()),
                 "wall_seconds": elapsed,
+                **horizon_diagnostics,
                 **cdf_mass_diagnostics(distribution),
             },
         )

@@ -180,13 +180,24 @@ class SweepSpec:
         The workload axis; models, or catalog names resolved with
         :func:`repro.workload.catalog.get_workload`.
     batteries:
-        The battery-parameter axis.
+        The battery axis.  Each entry is either a single
+        :class:`KiBaMParameters` (a single-battery scenario) or a sequence
+        of them (a multi-battery *bank*, expanded to a
+        :class:`~repro.multibattery.problem.MultiBatteryProblem`).
     times:
         Shared evaluation time grid (seconds).
     deltas:
         Discretisation-step axis; ``None`` entries select the default step.
     methods:
         Solver axis (registry keys, ``"auto"`` allowed).
+    policies:
+        Scheduling-policy axis for bank entries (registry names or policy
+        instances); the default single ``None`` entry means
+        ``"static-split"`` for banks.  Sweeps that mix single batteries
+        with a non-trivial policy axis are rejected -- split them instead.
+    failures_to_die:
+        The ``k`` of the banks' k-of-N depletion predicate (shared;
+        ``None`` selects ``k = N`` per bank).
     epsilon, n_runs, horizon:
         Tuning knobs shared by every scenario.
     seed:
@@ -200,10 +211,12 @@ class SweepSpec:
     """
 
     workloads: Sequence[WorkloadModel | str]
-    batteries: Sequence[KiBaMParameters]
+    batteries: Sequence[KiBaMParameters | Sequence[KiBaMParameters]]
     times: Sequence[float] | np.ndarray
     deltas: Sequence[float | None] = (None,)
     methods: Sequence[str] = ("auto",)
+    policies: Sequence[object | None] = (None,)
+    failures_to_die: int | None = None
     epsilon: float = 1e-8
     n_runs: int = 1000
     horizon: float | None = None
@@ -214,6 +227,7 @@ class SweepSpec:
         return (
             len(list(self.workloads))
             * len(list(self.batteries))
+            * len(list(self.policies))
             * len(list(self.deltas))
             * len(list(self.methods))
         )
@@ -222,10 +236,12 @@ class SweepSpec:
     def scenarios(self) -> tuple[list[LifetimeProblem], list[str]]:
         """Expand the cross-product into (problems, methods), scenario order.
 
-        The order is workload-major: workloads x batteries x deltas x
-        methods, matching the nesting of the attributes.  Labels name every
-        axis value so result curves are self-describing.
+        The order is workload-major: workloads x batteries x policies x
+        deltas x methods, matching the nesting of the attributes.  Labels
+        name every axis value so result curves are self-describing.
         """
+        from repro.multibattery.policies import get_policy
+        from repro.multibattery.problem import MultiBatteryProblem
         from repro.workload.catalog import get_workload
 
         resolved: list[tuple[str, WorkloadModel]] = []
@@ -234,45 +250,75 @@ class SweepSpec:
                 resolved.append((entry, get_workload(entry)))
             else:
                 resolved.append((entry.description or f"workload-{len(resolved)}", entry))
-        batteries = list(self.batteries)
+        banks: list[KiBaMParameters | tuple[KiBaMParameters, ...]] = [
+            entry if isinstance(entry, KiBaMParameters) else tuple(entry)
+            for entry in self.batteries
+        ]
+        policies = list(self.policies)
         deltas = list(self.deltas)
         methods = [str(method) for method in self.methods]
-        if not resolved or not batteries or not deltas or not methods:
+        if not resolved or not banks or not policies or not deltas or not methods:
             raise ValueError("every sweep axis needs at least one value")
+        if any(isinstance(bank, KiBaMParameters) for bank in banks) and any(
+            policy is not None for policy in policies
+        ):
+            raise ValueError(
+                "the policy axis only applies to multi-battery banks; sweep "
+                "single batteries and banks-with-policies separately"
+            )
 
-        count = len(resolved) * len(batteries) * len(deltas) * len(methods)
+        count = len(resolved) * len(banks) * len(policies) * len(deltas) * len(methods)
         seeds = spawn_seeds(self.seed, count)
 
         problems: list[LifetimeProblem] = []
         scenario_methods: list[str] = []
         times = np.asarray(self.times, dtype=float)
         for workload_name, workload in resolved:
-            for battery in batteries:
-                for delta in deltas:
-                    for method in methods:
-                        label = (
-                            f"{workload_name} | C={battery.capacity:g}, "
-                            f"c={battery.c:g}, k={battery.k:g}"
-                        )
-                        if delta is not None:
-                            label += f" | Delta={float(delta):g}"
-                        if len(methods) > 1:
-                            label += f" | {method}"
-                        problems.append(
-                            LifetimeProblem(
+            for bank in banks:
+                for policy in policies:
+                    for delta in deltas:
+                        for method in methods:
+                            shared = dict(
                                 workload=workload,
-                                battery=battery,
                                 times=times,
                                 delta=None if delta is None else float(delta),
                                 epsilon=float(self.epsilon),
                                 n_runs=int(self.n_runs),
                                 seed=seeds[len(problems)],
                                 horizon=self.horizon,
-                                label=label,
                                 transient_mode=self.transient_mode,
                             )
-                        )
-                        scenario_methods.append(method)
+                            if isinstance(bank, KiBaMParameters):
+                                label = (
+                                    f"{workload_name} | C={bank.capacity:g}, "
+                                    f"c={bank.c:g}, k={bank.k:g}"
+                                )
+                                problem: LifetimeProblem = LifetimeProblem(
+                                    battery=bank, **shared
+                                )
+                            else:
+                                resolved_policy = get_policy(
+                                    "static-split" if policy is None else policy
+                                )
+                                capacities = ", ".join(
+                                    f"{battery.capacity:g}" for battery in bank
+                                )
+                                label = (
+                                    f"{workload_name} | bank[{len(bank)}]: "
+                                    f"C=({capacities}) | {resolved_policy.name}"
+                                )
+                                problem = MultiBatteryProblem(
+                                    batteries=bank,
+                                    policy=resolved_policy,
+                                    failures_to_die=self.failures_to_die,
+                                    **shared,
+                                )
+                            if delta is not None:
+                                label += f" | Delta={float(delta):g}"
+                            if len(methods) > 1:
+                                label += f" | {method}"
+                            problems.append(problem.with_label(label))
+                            scenario_methods.append(method)
         return problems, scenario_methods
 
 
@@ -362,8 +408,11 @@ def _solve_chunk(
     Runs in a worker process (must stay module-level picklable).  All
     groups of the chunk share one workspace, so chains, propagators and
     Poisson windows are reused across groups exactly as in a serial batch.
+    Steady-state horizon caps are disabled: whether an MRM solve of the
+    same chain happens to precede a Monte-Carlo scenario in the chunk is
+    an accident of chunking, and cached results must not depend on it.
     """
-    workspace = SolveWorkspace()
+    workspace = SolveWorkspace(horizon_caps=False)
     solved: list[tuple[int, LifetimeResult]] = []
     for indices, method, problems in chunk:
         outcome = ScenarioBatch(problems).run(method, workspace=workspace)

@@ -6,9 +6,15 @@ are handed the same workspace share
 * the **expanded-chain builds** (``discretize`` results keyed by the
   problem's chain key) together with their cached
   :class:`~repro.markov.uniformization.TransientPropagator`, so a parameter
-  sweep that revisits a chain never rebuilds or re-uniformises it, and
+  sweep that revisits a chain never rebuilds or re-uniformises it
+  (models that know how to discretise themselves -- the multi-battery
+  product systems -- are dispatched to their own ``discretize`` method),
 * the globally memoised **Poisson windows** (hit statistics are surfaced
-  here for diagnostics).
+  here for diagnostics), and
+* the **steady-state times** reported by the incremental uniformisation
+  fast path, keyed by chain key: once an MRM solve has detected that a
+  chain's lifetime CDF is flat beyond some time, the Monte-Carlo solver
+  caps its simulation horizon there instead of simulating the flat tail.
 
 Workspaces are cheap; :class:`~repro.engine.batch.ScenarioBatch` creates
 one per run, and callers doing manual sweeps can keep one alive for as long
@@ -36,6 +42,13 @@ class SolveWorkspace:
     chains: dict[tuple, DiscretizedKiBaMRM] = field(default_factory=dict)
     propagators: dict[tuple, TransientPropagator] = field(default_factory=dict)
     projections: dict[tuple, np.ndarray] = field(default_factory=dict)
+    steady_state_times: dict[tuple, float] = field(default_factory=dict)
+    #: Whether the recorded steady-state times may cap Monte-Carlo horizons.
+    #: The sweep runner disables this: a cap that depends on which *other*
+    #: scenarios shared the workspace would make cached Monte-Carlo results
+    #: order-dependent, breaking the sweep cache's one-result-per-fingerprint
+    #: contract.
+    horizon_caps: bool = True
     builds: int = 0
     build_hits: int = 0
 
@@ -48,11 +61,20 @@ class SolveWorkspace:
         self._poisson_misses0 = info.misses
 
     # ------------------------------------------------------------------
-    def discretized(self, model: KiBaMRM, delta: float, key: tuple) -> DiscretizedKiBaMRM:
-        """Return the expanded chain for *key*, building it at most once."""
+    def discretized(self, model, delta: float, key: tuple) -> DiscretizedKiBaMRM:
+        """Return the expanded chain for *key*, building it at most once.
+
+        Models that carry their own discretisation -- the multi-battery
+        product systems expose a ``discretize(delta)`` method -- are
+        dispatched to it; plain :class:`KiBaMRM` models go through the
+        single-battery :func:`discretize`.
+        """
         chain = self.chains.get(key)
         if chain is None:
-            chain = discretize(model, delta)
+            if isinstance(model, KiBaMRM):
+                chain = discretize(model, delta)
+            else:
+                chain = model.discretize(delta)
             self.chains[key] = chain
             self.builds += 1
         else:
@@ -76,6 +98,31 @@ class SolveWorkspace:
             projection.setflags(write=False)
             self.projections[key] = projection
         return projection
+
+    # ------------------------------------------------------------------
+    def note_steady_state(self, key: tuple, steady_state_time: float | None) -> None:
+        """Record the steady-state time an MRM solve detected for *key*.
+
+        The earliest detection wins: a finer time grid can localise the
+        flattening point more tightly, and any recorded time is a valid cap
+        (the CDF is flat beyond each of them, within the solve's epsilon).
+        """
+        if steady_state_time is None:
+            return
+        time = float(steady_state_time)
+        known = self.steady_state_times.get(key)
+        if known is None or time < known:
+            self.steady_state_times[key] = time
+
+    def steady_state_hint(self, key: tuple) -> float | None:
+        """Return the recorded steady-state time for *key*, if any.
+
+        Returns ``None`` when horizon caps are disabled for this
+        workspace (see :attr:`horizon_caps`).
+        """
+        if not self.horizon_caps:
+            return None
+        return self.steady_state_times.get(key)
 
     # ------------------------------------------------------------------
     def diagnostics(self) -> dict:

@@ -143,5 +143,6 @@ def _ensure_loaded() -> None:
         figure9,
         figure10,
         figure11,
+        multibattery,
         table1,
     )

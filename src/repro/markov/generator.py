@@ -22,6 +22,7 @@ __all__ = [
     "embedded_jump_matrix",
     "exit_rates",
     "is_generator",
+    "kron_chain",
     "uniformized_matrix",
     "validate_generator",
 ]
@@ -50,6 +51,26 @@ def as_csr(matrix) -> sp.csr_matrix:
     if _is_sparse(matrix):
         return matrix.tocsr()
     return sp.csr_matrix(np.asarray(matrix, dtype=float))
+
+
+def kron_chain(factors) -> sp.csr_matrix:
+    """Return the Kronecker product of *factors*, reduced left to right, as CSR.
+
+    The factors may be dense arrays or scipy sparse matrices; everything is
+    pushed through :func:`as_csr` first so the product stays sparse
+    end-to-end.  This is the assembly primitive of the multi-battery
+    product-space construction, where a local transition matrix of one
+    factor (workload, phase clock, or a single battery's charge grid) is
+    lifted to the product space by Kronecker-multiplying it with identities
+    on every other factor.
+    """
+    matrices = [as_csr(factor) for factor in factors]
+    if not matrices:
+        raise GeneratorError("kron_chain needs at least one factor")
+    product = matrices[0]
+    for factor in matrices[1:]:
+        product = sp.kron(product, factor, format="csr")
+    return product.tocsr()
 
 
 def build_generator(

@@ -1,0 +1,331 @@
+"""Product-space Markov reward models for multi-battery systems.
+
+A :class:`MultiBatterySystem` composes one CTMC workload, a bank of ``N``
+KiBaM batteries and a scheduling policy into a single product-space CTMC:
+
+.. math::
+
+    S^\\times = S_{\\text{workload}} \\times S_{\\text{phase}}
+        \\times G_1 \\times \\cdots \\times G_N,
+
+where ``G_b`` is battery ``b``'s discretised charge grid (the same
+:class:`~repro.core.grid.RewardGrid` the single-battery Markovian
+approximation uses) and the phase factor is the policy's optional switch
+clock.  The generator is assembled from **sparse Kronecker products**
+(:func:`repro.markov.kron_chain` on the CSR boundary):
+
+* workload and phase transitions are local to their own factor,
+* each battery's bound-to-available **transfer** transitions are local to
+  that battery's grid factor, and
+* **consumption** transitions (battery ``b`` loses one charge quantum at
+  rate ``w_b I_m / Delta``) combine a diagonal current factor on the
+  workload/phase axes with a down-shift on battery ``b``'s grid axis; the
+  policy-dependent routing weight ``w_b`` -- which may depend on the joint
+  charge configuration (``best-of``) -- enters as a diagonal row scaling
+  of the lifted matrix.
+
+System failure is a configurable **k-of-N depletion predicate**: the
+system is dead as soon as at least ``failures_to_die`` batteries have
+emptied their available well.  Failed product states are made absorbing
+exactly like the single-battery empty states, so the resulting chain drops
+straight into the existing :class:`~repro.markov.uniformization.TransientPropagator`
+machinery (including the incremental fast path and its steady-state
+detection) with the failed-state indicator as the projection vector.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.battery.parameters import KiBaMParameters
+from repro.core.discretization import _transfer_rates
+from repro.core.grid import RewardGrid
+from repro.markov.generator import kron_chain
+from repro.multibattery.policies import SchedulingPolicy, get_policy
+from repro.workload.base import WorkloadModel
+
+__all__ = ["DiscretizedMultiBatterySystem", "MultiBatterySystem"]
+
+
+def _battery_grid(battery: KiBaMParameters, delta: float) -> RewardGrid:
+    """The charge grid of one battery (1-D when ``c = 1``)."""
+    return RewardGrid(
+        delta=float(delta),
+        upper1=battery.available_capacity,
+        upper2=battery.bound_capacity,
+    )
+
+
+def _consumption_shift(grid: RewardGrid) -> sp.csr_matrix:
+    """Unscaled down-shift ``(j1, j2) -> (j1 - 1, j2)`` over one grid's cells.
+
+    The entries are 1; the physical rate ``w_b I_m / Delta`` is applied on
+    the product space (current via the workload/phase diagonal factor,
+    routing weight via a diagonal row scaling).
+    """
+    n1, n2 = grid.n_levels1, grid.n_levels2
+    j1 = np.repeat(np.arange(1, n1, dtype=np.int64), n2)
+    j2 = np.tile(np.arange(n2, dtype=np.int64), n1 - 1)
+    rows = j1 * n2 + j2
+    cols = (j1 - 1) * n2 + j2
+    data = np.ones(rows.size)
+    return sp.csr_matrix((data, (rows, cols)), shape=(grid.n_cells, grid.n_cells))
+
+
+def _transfer_matrix(grid: RewardGrid, battery: KiBaMParameters) -> sp.csr_matrix:
+    """Transfer transitions ``(j1, j2) -> (j1+1, j2-1)`` over one grid's cells.
+
+    Reuses the single-battery rate computation (:func:`_transfer_rates`
+    already returns ``k (h2 - h1) / Delta`` per source cell), so the
+    product chain restricted to one battery matches the single-battery
+    discretisation exactly.
+    """
+    j1, j2, rates = _transfer_rates(grid, battery.c, battery.k)
+    n2 = grid.n_levels2
+    rows = j1 * n2 + j2
+    cols = (j1 + 1) * n2 + (j2 - 1)
+    return sp.csr_matrix((rates, (rows, cols)), shape=(grid.n_cells, grid.n_cells))
+
+
+def _off_diagonal(generator: np.ndarray) -> np.ndarray:
+    """The non-negative off-diagonal part of a small dense generator."""
+    off = np.asarray(generator, dtype=float).copy()
+    np.fill_diagonal(off, 0.0)
+    return off
+
+
+@dataclass(frozen=True)
+class MultiBatterySystem:
+    """A workload, a bank of KiBaM batteries, and a scheduling policy.
+
+    Attributes
+    ----------
+    workload:
+        The stochastic workload model shared by the whole bank.
+    batteries:
+        The per-battery KiBaM parameter sets (at least one).
+    policy:
+        The scheduling policy (an instance, or a registry name resolved via
+        :func:`repro.multibattery.policies.get_policy`).
+    failures_to_die:
+        The ``k`` of the k-of-N depletion predicate: the system fails as
+        soon as at least this many batteries are empty.  ``k = 1`` models a
+        series pack (one dead cell kills the system), ``k = N`` a parallel
+        bank that survives on its last battery.
+    """
+
+    workload: WorkloadModel
+    batteries: tuple[KiBaMParameters, ...]
+    policy: SchedulingPolicy
+    failures_to_die: int
+
+    def __post_init__(self) -> None:
+        batteries = tuple(self.batteries)
+        if not batteries:
+            raise ValueError("a multi-battery system needs at least one battery")
+        object.__setattr__(self, "batteries", batteries)
+        object.__setattr__(self, "policy", get_policy(self.policy))
+        k = int(self.failures_to_die)
+        if not 1 <= k <= len(batteries):
+            raise ValueError(
+                f"failures_to_die must lie in [1, {len(batteries)}], got {k}"
+            )
+        object.__setattr__(self, "failures_to_die", k)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_batteries(self) -> int:
+        """Number of batteries in the bank."""
+        return len(self.batteries)
+
+    @property
+    def n_phases(self) -> int:
+        """Number of phase-clock states the policy adds."""
+        return self.policy.n_phases(self.n_batteries)
+
+    def estimated_states(self, delta: float) -> int:
+        """Product-space size for step *delta*, without building anything."""
+        cells = 1
+        for battery in self.batteries:
+            grid = _battery_grid(battery, delta)
+            cells *= grid.n_cells
+        return self.workload.n_states * self.n_phases * cells
+
+    # ------------------------------------------------------------------
+    def discretize(self, delta: float) -> "DiscretizedMultiBatterySystem":
+        """Assemble the product-space CTMC for step size *delta* (As)."""
+        delta = float(delta)
+        if not math.isfinite(delta) or delta <= 0:
+            raise ValueError("the step size delta must be positive and finite")
+        workload = self.workload
+        n_batteries = self.n_batteries
+        grids = tuple(_battery_grid(battery, delta) for battery in self.batteries)
+        cells = [grid.n_cells for grid in grids]
+        n_cells = int(np.prod(cells))
+        n_phases = self.n_phases
+        n_aux = workload.n_states * n_phases
+        n_states = n_aux * n_cells
+
+        # Per-battery charge configuration of every product cell: the cell
+        # index decomposes battery-major (battery 1 outermost), mirroring
+        # the Kronecker factor order (workload, phase, grid 1, ..., grid N).
+        strides = np.empty(n_batteries, dtype=np.int64)
+        running = 1
+        for b in range(n_batteries - 1, -1, -1):
+            strides[b] = running
+            running *= cells[b]
+        cell_index = np.arange(n_cells, dtype=np.int64)
+        levels = np.empty((n_cells, n_batteries), dtype=np.int64)
+        for b, grid in enumerate(grids):
+            levels[:, b] = (cell_index // strides[b]) % cells[b] // grid.n_levels2
+        alive = levels >= 1
+        failed_cells = (~alive).sum(axis=1) >= self.failures_to_die
+
+        identities = [sp.identity(size, format="csr") for size in cells]
+        identity_phase = sp.identity(n_phases, format="csr")
+        identity_workload = sp.identity(workload.n_states, format="csr")
+
+        # 1. Workload and phase transitions: local to the aux factors.
+        aux_off = sp.kron(
+            _off_diagonal(workload.generator), identity_phase, format="csr"
+        ) + sp.kron(
+            identity_workload,
+            _off_diagonal(self.policy.phase_generator(n_batteries)),
+            format="csr",
+        )
+        off_diagonal = kron_chain([aux_off] + identities)
+
+        # 2. Transfer transitions: local to one battery's grid factor.
+        identity_aux = sp.identity(n_aux, format="csr")
+        for b, (grid, battery) in enumerate(zip(grids, self.batteries)):
+            transfer = _transfer_matrix(grid, battery)
+            if transfer.nnz == 0:
+                continue
+            factors = [identity_aux] + identities[:b] + [transfer] + identities[b + 1 :]
+            off_diagonal = off_diagonal + kron_chain(factors)
+
+        # 3. Consumption transitions: current on the aux diagonal, a
+        #    down-shift on battery b's grid factor, and the policy's routing
+        #    weight as a diagonal row scaling over the full product space.
+        currents_aux = np.repeat(
+            np.asarray(workload.currents, dtype=float), n_phases
+        )
+        weights = self.policy.routing_weights(
+            levels.astype(float), alive
+        )  # (n_phases, n_cells, n_batteries)
+        if weights.shape != (n_phases, n_cells, n_batteries):
+            raise ValueError(
+                f"policy {self.policy.name!r} returned routing weights of shape "
+                f"{weights.shape}, expected {(n_phases, n_cells, n_batteries)}"
+            )
+        drawing = currents_aux > 0.0
+        if np.any(drawing):
+            current_factor = sp.diags(currents_aux / delta).tocsr()
+            for b, grid in enumerate(grids):
+                shift = _consumption_shift(grid)
+                factors = [current_factor] + identities[:b] + [shift] + identities[b + 1 :]
+                lifted = kron_chain(factors)
+                # Routing weight of battery b for product state (i, p, cell):
+                # rows are aux-major, aux = i * n_phases + p, so the phase
+                # pattern tiles over the workload states.
+                weight_rows = np.tile(weights[:, :, b], (workload.n_states, 1)).ravel()
+                if not np.any(weight_rows > 0.0):
+                    continue
+                off_diagonal = off_diagonal + sp.diags(weight_rows) @ lifted
+
+        # Failed states are absorbing: zero their rows (workload, phase,
+        # transfer and consumption alike), mirroring the single-battery
+        # convention that empty states freeze entirely.
+        active_rows = np.tile(~failed_cells, n_aux).astype(float)
+        off_diagonal = (sp.diags(active_rows) @ off_diagonal).tocsr()
+        off_diagonal.eliminate_zeros()
+        row_sums = np.asarray(off_diagonal.sum(axis=1)).ravel()
+        generator = (off_diagonal + sp.diags(-row_sums)).tocsr()
+
+        # Initial distribution: the workload's initial law, phase 0, every
+        # battery at its full-charge cell.
+        full_cell = 0
+        for b, (grid, battery) in enumerate(zip(grids, self.batteries)):
+            j1 = grid.level_of(battery.available_capacity, dimension=1)
+            j2 = (
+                grid.level_of(battery.bound_capacity, dimension=2)
+                if grid.two_dimensional
+                else 0
+            )
+            full_cell += (j1 * grid.n_levels2 + j2) * int(strides[b])
+        initial = np.zeros(n_states)
+        masses = np.asarray(workload.initial_distribution, dtype=float)
+        states = np.nonzero(masses > 0.0)[0]
+        initial[(states * n_phases + 0) * n_cells + full_cell] = masses[states]
+
+        failed_flat = np.nonzero(np.tile(failed_cells, n_aux))[0]
+
+        return DiscretizedMultiBatterySystem(
+            system=self,
+            grids=grids,
+            generator=generator,
+            initial_distribution=initial,
+            empty_states=failed_flat,
+            levels=levels,
+            failed_cells=failed_cells,
+        )
+
+
+@dataclass(frozen=True)
+class DiscretizedMultiBatterySystem:
+    """The assembled product-space CTMC of a multi-battery system.
+
+    Exposes the same surface as
+    :class:`~repro.core.discretization.DiscretizedKiBaMRM` (``generator``,
+    ``initial_distribution``, ``empty_states``, ``n_states``,
+    ``n_nonzero``), so the engine's workspace, propagator caching and
+    batched solves apply unchanged; ``empty_states`` holds the
+    *system-failed* absorbing states of the k-of-N predicate.
+    """
+
+    system: MultiBatterySystem
+    grids: tuple[RewardGrid, ...]
+    generator: sp.csr_matrix
+    initial_distribution: np.ndarray
+    empty_states: np.ndarray
+    levels: np.ndarray
+    failed_cells: np.ndarray
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of product-space states."""
+        return int(self.generator.shape[0])
+
+    @property
+    def n_nonzero(self) -> int:
+        """Number of non-zero generator entries (including the diagonal)."""
+        return int(self.generator.nnz)
+
+    @property
+    def n_cells(self) -> int:
+        """Number of joint charge configurations (product of the grids)."""
+        return int(self.levels.shape[0])
+
+    @property
+    def uniformization_rate(self) -> float:
+        """Maximal exit rate of the product chain (before the safety factor)."""
+        return float(np.max(-self.generator.diagonal(), initial=0.0))
+
+    def empty_probability(self, distributions: np.ndarray) -> np.ndarray:
+        """Sum the probability mass of the system-failed states."""
+        distributions = np.asarray(distributions)
+        if distributions.ndim == 1:
+            return float(distributions[self.empty_states].sum())
+        return distributions[:, self.empty_states].sum(axis=1)
+
+    def battery_alive_probability(self, distribution: np.ndarray, battery: int) -> float:
+        """Probability that battery *battery* still holds available charge."""
+        distribution = np.asarray(distribution, dtype=float)
+        n_aux = self.n_states // self.n_cells
+        by_cell = distribution.reshape(n_aux, self.n_cells).sum(axis=0)
+        return float(by_cell[self.levels[:, battery] >= 1].sum())

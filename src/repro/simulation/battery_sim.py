@@ -16,7 +16,12 @@ from repro.battery.profiles import PiecewiseConstantLoad
 from repro.simulation.trajectory import Trajectory, sample_trajectory
 from repro.workload.base import WorkloadModel
 
-__all__ = ["simulate_battery_on_trajectory", "simulate_lifetime_once", "default_horizon"]
+__all__ = [
+    "default_horizon",
+    "ideal_lifetime_horizon",
+    "simulate_battery_on_trajectory",
+    "simulate_lifetime_once",
+]
 
 
 def simulate_battery_on_trajectory(battery: Battery, trajectory: Trajectory) -> float | None:
@@ -44,17 +49,30 @@ def simulate_battery_on_trajectory(battery: Battery, trajectory: Trajectory) -> 
     return battery.lifetime(profile, horizon=trajectory.total_duration)
 
 
+def ideal_lifetime_horizon(
+    mean_current: float, capacity: float, *, safety_factor: float = 3.0
+) -> float:
+    """The shared horizon heuristic: ``safety * ideal lifetime``.
+
+    The ideal lifetime is *capacity* delivered at *mean_current*; a
+    non-positive mean current falls back to a large constant.  Single- and
+    multi-battery default horizons both delegate here so the heuristic has
+    exactly one set of constants.
+    """
+    if mean_current <= 0:
+        return 1_000_000.0
+    return safety_factor * capacity / mean_current
+
+
 def default_horizon(workload: WorkloadModel, battery: Battery, *, safety_factor: float = 3.0) -> float:
     """Return a simulation horizon that almost surely exceeds the lifetime.
 
     The horizon is the ideal lifetime of the full capacity at the workload's
-    long-run mean current, multiplied by *safety_factor*.  Workloads with a
-    zero mean current fall back to a large constant.
+    long-run mean current, multiplied by *safety_factor*.
     """
-    mean_current = workload.mean_current()
-    if mean_current <= 0:
-        return 1_000_000.0
-    return safety_factor * battery.capacity / mean_current
+    return ideal_lifetime_horizon(
+        workload.mean_current(), battery.capacity, safety_factor=safety_factor
+    )
 
 
 def simulate_lifetime_once(

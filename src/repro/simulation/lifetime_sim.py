@@ -14,13 +14,25 @@ import numpy as np
 
 from repro.battery.base import Battery
 from repro.battery.kibam import KineticBatteryModel
-from repro.simulation.battery_sim import default_horizon, simulate_lifetime_once
+from repro.simulation.battery_sim import (
+    default_horizon,
+    ideal_lifetime_horizon,
+    simulate_lifetime_once,
+)
 from repro.simulation.rng import make_rng
 from repro.simulation.statistics import EmpiricalDistribution, summarize_samples
-from repro.simulation.vectorized import simulate_lifetimes_vectorized
+from repro.simulation.vectorized import (
+    simulate_lifetimes_vectorized,
+    simulate_system_lifetimes_vectorized,
+)
 from repro.workload.base import WorkloadModel
 
-__all__ = ["LifetimeSimulationResult", "simulate_lifetime_distribution"]
+__all__ = [
+    "LifetimeSimulationResult",
+    "default_system_horizon",
+    "simulate_lifetime_distribution",
+    "simulate_system_lifetime_distribution",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +124,66 @@ def simulate_lifetime_distribution(
         for run in range(n_runs):
             samples[run] = simulate_lifetime_once(workload, battery, rng, horizon=horizon)
 
+    return LifetimeSimulationResult(
+        samples=samples,
+        distribution=EmpiricalDistribution(samples),
+        horizon=float(horizon),
+        n_runs=int(n_runs),
+    )
+
+
+def default_system_horizon(
+    workload: WorkloadModel, batteries, *, safety_factor: float = 3.0
+) -> float:
+    """Return a horizon that almost surely exceeds the system lifetime.
+
+    The bank delivers at most the sum of its capacities, so the shared
+    heuristic (:func:`~repro.simulation.battery_sim.ideal_lifetime_horizon`)
+    applied to the total capacity bounds every policy's system lifetime.
+    """
+    total_capacity = float(sum(battery.capacity for battery in batteries))
+    return ideal_lifetime_horizon(
+        workload.mean_current(), total_capacity, safety_factor=safety_factor
+    )
+
+
+def simulate_system_lifetime_distribution(
+    workload: WorkloadModel,
+    batteries,
+    policy,
+    *,
+    failures_to_die: int | None = None,
+    n_runs: int = 1000,
+    seed: int | np.random.Generator | None = None,
+    horizon: float | None = None,
+    control_interval: float | None = None,
+) -> LifetimeSimulationResult:
+    """Estimate a multi-battery **system** lifetime distribution by simulation.
+
+    The Monte-Carlo cross-check of the product-space Markovian
+    approximation: per-battery KiBaM trajectories are sampled under the
+    given scheduling policy (see
+    :func:`repro.simulation.vectorized.simulate_system_lifetimes_vectorized`)
+    and the first times the k-of-N depletion predicate fires form the
+    empirical system-lifetime distribution.
+    """
+    if n_runs < 1:
+        raise ValueError("n_runs must be at least 1")
+    batteries = tuple(batteries)
+    rng = make_rng(seed)
+    if horizon is None:
+        horizon = default_system_horizon(workload, batteries)
+
+    samples = simulate_system_lifetimes_vectorized(
+        workload,
+        batteries,
+        policy,
+        n_runs,
+        rng,
+        float(horizon),
+        failures_to_die=failures_to_die,
+        control_interval=control_interval,
+    )
     return LifetimeSimulationResult(
         samples=samples,
         distribution=EmpiricalDistribution(samples),

@@ -1,0 +1,105 @@
+"""Tests of the benchmark provenance stamping and the regression differ."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.records import git_commit_sha, stamp_record, write_bench_record
+
+_CHECKER_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_bench_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _CHECKER_PATH)
+check_bench_regression = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_bench_regression", check_bench_regression)
+_spec.loader.exec_module(check_bench_regression)
+
+
+class TestRecords:
+    def test_write_bench_record_stamps_provenance(self, tmp_path):
+        path = tmp_path / "BENCH_example.json"
+        stamped = write_bench_record(path, {"results": {"speedup": 4.0}})
+        on_disk = json.loads(path.read_text())
+        assert on_disk == stamped
+        provenance = on_disk["provenance"]
+        assert set(provenance) == {"git_commit", "timestamp"}
+        # ISO-8601 with an explicit UTC offset.
+        assert "T" in provenance["timestamp"]
+        assert provenance["timestamp"].endswith("+00:00")
+        # tmp_path is not a git checkout, so the SHA falls back gracefully.
+        assert provenance["git_commit"] == "unknown"
+        # The repository itself resolves to a real SHA.
+        repo_sha = git_commit_sha(Path(__file__).resolve().parent)
+        assert repo_sha != "unknown" and len(repo_sha) == 40
+
+    def test_stamp_record_does_not_mutate_the_input(self):
+        record = {"results": {"speedup": 2.0}}
+        stamped = stamp_record(record)
+        assert "provenance" not in record
+        assert stamped["results"] is record["results"]
+
+
+class TestRegressionDiff:
+    def test_collects_nested_speedups_only(self):
+        record = {
+            "results": {
+                "speedup": 3.5,
+                "required_speedup": 3.0,
+                "wall_seconds": 1.0,
+                "flag": True,
+            },
+            "fast_path": {"results": {"speedup": 12.0}},
+            "provenance": {"git_commit": "abc", "timestamp": "now"},
+        }
+        assert check_bench_regression.collect_speedups(record) == {
+            "results.speedup": 3.5,
+            "fast_path.results.speedup": 12.0,
+        }
+
+    def test_compare_records_flags_large_regressions_only(self):
+        baseline = {"results": {"speedup": 10.0}}
+        within = {"results": {"speedup": 8.0}}  # -20%: allowed
+        beyond = {"results": {"speedup": 7.0}}  # -30%: regression
+        assert check_bench_regression.compare_records(baseline, within) == []
+        failures = check_bench_regression.compare_records(baseline, beyond)
+        assert len(failures) == 1 and "results.speedup" in failures[0]
+        # Improvements and new metrics never fail.
+        improved = {"results": {"speedup": 40.0, "other_speedup": 1.0}}
+        assert check_bench_regression.compare_records(baseline, improved) == []
+
+    def test_main_with_baseline_dir(self, tmp_path):
+        fresh_dir = tmp_path / "fresh"
+        base_dir = tmp_path / "base"
+        fresh_dir.mkdir()
+        base_dir.mkdir()
+        (base_dir / "BENCH_x.json").write_text(
+            json.dumps({"results": {"speedup": 10.0}})
+        )
+        fresh = fresh_dir / "BENCH_x.json"
+
+        fresh.write_text(json.dumps({"results": {"speedup": 9.0}}))
+        assert (
+            check_bench_regression.main([str(fresh), "--baseline-dir", str(base_dir)])
+            == 0
+        )
+        fresh.write_text(json.dumps({"results": {"speedup": 5.0}}))
+        assert (
+            check_bench_regression.main([str(fresh), "--baseline-dir", str(base_dir)])
+            == 1
+        )
+        # Missing baseline and missing fresh record both skip cleanly.
+        lonely = fresh_dir / "BENCH_new.json"
+        lonely.write_text(json.dumps({"results": {"speedup": 1.0}}))
+        assert (
+            check_bench_regression.main([str(lonely), "--baseline-dir", str(base_dir)])
+            == 0
+        )
+        assert (
+            check_bench_regression.main(
+                [str(fresh_dir / "BENCH_absent.json"), "--baseline-dir", str(base_dir)]
+            )
+            == 0
+        )
