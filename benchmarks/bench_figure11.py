@@ -1,6 +1,5 @@
 """Benchmark: reproduce Figure 11 (simple vs. burst model)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import figure11

@@ -1,7 +1,6 @@
 """Benchmark: reproduce Figure 8 (on/off model, both wells discretised)."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import figure8
 

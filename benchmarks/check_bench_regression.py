@@ -21,8 +21,11 @@ checked-out commit already *contains* the branch's refreshed records, so
 comparing against ``HEAD`` would be a self-comparison that can never fail
 -- there the workflow passes ``--baseline-ref HEAD^`` (the parent commit:
 the base branch for PR merge refs, the previous tip for pushes; the
-checkout needs ``fetch-depth: 2``).  Records without a baseline (first
-build of a new benchmark, unreachable ref) are skipped with a notice, as
+checkout needs ``fetch-depth: 2``).  Every missing-baseline situation is a
+skip-with-notice, never an error: an unresolvable baseline ref (shallow
+single-commit clone, a repository's first commit) skips the whole diff,
+and records without a baseline (first build of a new benchmark) or
+without a fresh counterpart in the working tree are skipped per file, as
 are metrics present on only one side.
 """
 
@@ -83,6 +86,26 @@ def compare_records(
     return failures
 
 
+def _ref_resolves(ref: str) -> bool:
+    """Whether *ref* names a commit in this checkout.
+
+    ``HEAD^`` does not exist on a shallow single-commit clone (CI checkouts
+    without ``fetch-depth: 2``) or on a repository's very first commit; the
+    diff must then skip with a notice instead of erroring on every record.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--verify", "--quiet", f"{ref}^{{commit}}"],
+            capture_output=True,
+            text=True,
+            timeout=30.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return False
+    return completed.returncode == 0
+
+
 def _committed_baseline(name: str, ref: str) -> dict | None:
     """Load the version of *name* committed at *ref* via ``git show``."""
     try:
@@ -128,13 +151,24 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.baseline_dir is None and not _ref_resolves(args.baseline_ref):
+        print(
+            f"[bench-diff] baseline ref {args.baseline_ref!r} does not resolve "
+            "(shallow clone or first commit?); skipping all diffs"
+        )
+        return 0
+
     any_failure = False
     for name in args.records:
         fresh_path = Path(name)
         if not fresh_path.exists():
             print(f"[bench-diff] {name}: no fresh record in the working tree, skipping")
             continue
-        fresh = json.loads(fresh_path.read_text())
+        try:
+            fresh = json.loads(fresh_path.read_text())
+        except json.JSONDecodeError as error:
+            print(f"[bench-diff] {name}: fresh record is not valid JSON ({error}), skipping")
+            continue
         if args.baseline_dir is not None:
             baseline_path = Path(args.baseline_dir) / fresh_path.name
             baseline = (

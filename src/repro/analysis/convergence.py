@@ -10,7 +10,7 @@ ablation benchmark ``benchmarks/bench_ablation_delta.py``.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

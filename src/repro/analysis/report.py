@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-import numpy as np
-
 from repro.analysis.distribution import LifetimeDistribution
 
 __all__ = ["format_series", "format_table"]

@@ -56,19 +56,20 @@ from repro.engine.registry import (
     solve_lifetime,
 )
 from repro.engine.result import LifetimeResult
-from repro.engine.sweep import (
-    SweepCache,
-    SweepResult,
-    SweepSpec,
-    run_sweep,
-    scenario_fingerprint,
-)
 from repro.engine.solvers import (
     AnalyticSolver,
     AutoSolver,
     MonteCarloSolver,
     MRMUniformizationSolver,
     choose_method,
+)
+from repro.engine.sweep import (
+    SweepCache,
+    SweepResult,
+    SweepScenarioError,
+    SweepSpec,
+    run_sweep,
+    scenario_fingerprint,
 )
 from repro.engine.workspace import SolveWorkspace
 
@@ -86,6 +87,7 @@ __all__ = [
     "SolveWorkspace",
     "SweepCache",
     "SweepResult",
+    "SweepScenarioError",
     "SweepSpec",
     "UnknownSolverError",
     "UnsupportedProblemError",

@@ -42,6 +42,7 @@ from repro.engine.problem import LifetimeProblem
 from repro.engine.result import LifetimeResult
 from repro.engine.solvers import (
     MRMUniformizationSolver,
+    _backend_and_key,
     build_mrm_result,
     choose_method,
     transient_diagnostics,
@@ -65,7 +66,19 @@ def chain_merge_key(problem: LifetimeProblem) -> tuple:
     chain-mates are never split across worker processes) -- keep it the
     single source of truth for what may share one transient solve.
     """
-    if problem.is_multibattery or problem.has_transfer:
+    if problem.is_multibattery:
+        # The resolved product-chain backend joins the key: scenarios pinned
+        # to different backends build different chain objects and must not
+        # share one blocked solve (their results agree, their workspaces
+        # do not).
+        return (
+            "identical",
+            problem.chain_key(),
+            problem.resolved_backend(),
+            float(problem.epsilon),
+            problem.transient_mode,
+        )
+    if problem.has_transfer:
         return (
             "identical",
             problem.chain_key(),
@@ -241,8 +254,8 @@ class ScenarioBatch:
         # every other scenario is the same chain started at a lower level.
         anchor = max(group, key=lambda problem: problem.battery.capacity)
         delta = anchor.effective_delta
-        key = anchor.chain_key()
-        chain = ws.discretized(anchor.model(), delta, key)
+        backend, key = _backend_and_key(anchor, delta)
+        chain = ws.discretized(anchor.model(), delta, key, backend=backend)
         propagator = ws.propagator(chain, key)
 
         # Scenarios with the same battery reduce to the same initial vector
@@ -269,7 +282,9 @@ class ScenarioBatch:
             projection=ws.empty_projection(chain, key),
             mode=group[0].transient_mode,
         )
-        ws.note_steady_state(key, transient.steady_state_time)
+        # Steady-state notes key on the physical chain (the flattening time
+        # is backend-independent), not on the workspace build key.
+        ws.note_steady_state(anchor.chain_key(), transient.steady_state_time)
         elapsed = time.perf_counter() - started
 
         results = []
@@ -284,6 +299,7 @@ class ScenarioBatch:
                     iterations=transient.iterations,
                     extra_diagnostics={
                         **transient_diagnostics(transient),
+                        **({} if backend is None else {"backend": backend}),
                         "batched": True,
                         "batch_size": len(group),
                         "batch_rows": len(stack),

@@ -56,6 +56,29 @@ __all__ = [
 #: Markovian approximation before falling back to Monte-Carlo.
 MAX_AUTO_MRM_STATES = 200_000
 
+#: Larger budget for multi-battery chains solved through the matrix-free
+#: backend: the operator never materialises the product CSR, so memory stops
+#: being the binding constraint and only the per-iteration vector work
+#: limits the viable size.
+MAX_AUTO_MATRIXFREE_STATES = 2_000_000
+
+
+def _backend_and_key(problem: LifetimeProblem, delta: float) -> tuple[str | None, tuple]:
+    """Resolve the multi-battery backend and the workspace build key.
+
+    Single-battery problems have one chain realisation; bank problems key
+    the workspace's chain/propagator caches on ``(chain_key, backend)``,
+    because the three backends build different objects (CSR, operator,
+    quotient chain) for the same physical chain.  Steady-state notes keep
+    using the bare ``chain_key``: the detected flattening time is a
+    property of the lifetime law, not of the realisation.
+    """
+    key = problem.chain_key()
+    if not problem.is_multibattery:
+        return None, key
+    backend = problem.resolved_backend(delta)
+    return backend, key + (("backend", backend),)
+
 
 def cdf_mass_diagnostics(distribution: LifetimeDistribution) -> dict:
     """Diagnostics entries describing how much of the CDF the grid captured.
@@ -200,18 +223,19 @@ class MRMUniformizationSolver:
         started = time.perf_counter()
         ws = workspace if workspace is not None else SolveWorkspace()
         delta = problem.effective_delta
-        key = problem.chain_key()
-        chain = ws.discretized(problem.model(), delta, key)
-        propagator = ws.propagator(chain, key)
+        backend, build_key = _backend_and_key(problem, delta)
+        chain = ws.discretized(problem.model(), delta, build_key, backend=backend)
+        propagator = ws.propagator(chain, build_key)
 
         transient = propagator.transient_batch(
             chain.initial_distribution[None, :],
             problem.times,
             epsilon=problem.epsilon,
-            projection=ws.empty_projection(chain, key),
+            projection=ws.empty_projection(chain, build_key),
             mode=problem.transient_mode,
         )
-        ws.note_steady_state(key, transient.steady_state_time)
+        ws.note_steady_state(problem.chain_key(), transient.steady_state_time)
+        extra = {} if backend is None else {"backend": backend}
         return build_mrm_result(
             problem,
             chain,
@@ -220,6 +244,7 @@ class MRMUniformizationSolver:
             iterations=transient.iterations,
             extra_diagnostics={
                 **transient_diagnostics(transient),
+                **extra,
                 "wall_seconds": time.perf_counter() - started,
             },
         )
@@ -331,16 +356,36 @@ class MonteCarloSolver:
 
 
 def choose_method(
-    problem: LifetimeProblem, *, max_mrm_states: int = MAX_AUTO_MRM_STATES
+    problem: LifetimeProblem,
+    *,
+    max_mrm_states: int = MAX_AUTO_MRM_STATES,
+    max_matrixfree_states: int = MAX_AUTO_MATRIXFREE_STATES,
 ) -> str:
     """Return the registry key ``auto`` dispatches *problem* to.
 
     Exact analytic solution when it applies; otherwise the Markovian
-    approximation while the expanded chain stays below *max_mrm_states*
-    states; Monte-Carlo simulation beyond that.
+    approximation while the chain the solver would actually iterate on
+    stays below its size budget; Monte-Carlo simulation beyond that.  For
+    multi-battery problems the budget follows the resolved product-chain
+    backend: the symmetry-lumped quotient of an identical bank counts its
+    (much smaller) quotient states against *max_mrm_states*, and
+    matrix-free banks -- no assembled matrix to hold -- get the larger
+    *max_matrixfree_states* budget.
     """
     if AnalyticSolver().supports(problem):
         return AnalyticSolver.name
+    if problem.is_multibattery:
+        # The dispatcher's own MRM budget doubles as the assembled-backend
+        # threshold of the resolution, so a lowered max_mrm_states pushes
+        # mid-size banks onto the matrix-free budget instead of silently
+        # falling back to Monte-Carlo.  (AutoSolver pins the backend it
+        # resolved here onto the problem before delegating, so the solve
+        # cannot re-resolve differently under the default threshold.)
+        backend = problem.resolved_backend(assembled_limit=max_mrm_states)
+        limit = max_matrixfree_states if backend == "matrix-free" else max_mrm_states
+        if problem.estimated_backend_states(assembled_limit=max_mrm_states) <= limit:
+            return MRMUniformizationSolver.name
+        return MonteCarloSolver.name
     if problem.estimated_mrm_states() <= max_mrm_states:
         return MRMUniformizationSolver.name
     return MonteCarloSolver.name
@@ -363,6 +408,18 @@ class AutoSolver:
         from repro.engine.registry import get_solver
 
         method = choose_method(problem, max_mrm_states=self.max_mrm_states)
+        if (
+            problem.is_multibattery
+            and problem.backend == "auto"
+            and method == MRMUniformizationSolver.name
+        ):
+            # Pin the backend this dispatch reasoned about: without it, a
+            # custom max_mrm_states could resolve "matrix-free" here while
+            # the delegated solve re-resolves under the default threshold
+            # and assembles the very matrix the lowered budget precluded.
+            problem = problem.with_backend(
+                problem.resolved_backend(assembled_limit=self.max_mrm_states)
+            )
         result = get_solver(method).solve(problem, workspace=workspace)
         diagnostics = dict(result.diagnostics)
         diagnostics["auto_dispatched_to"] = method

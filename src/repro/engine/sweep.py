@@ -51,10 +51,31 @@ from repro.workload.base import WorkloadModel
 __all__ = [
     "SweepCache",
     "SweepResult",
+    "SweepScenarioError",
     "SweepSpec",
     "run_sweep",
     "scenario_fingerprint",
 ]
+
+
+class SweepScenarioError(RuntimeError):
+    """A sweep worker failed while solving identifiable scenarios.
+
+    Worker exceptions used to surface bare (``ProcessPoolExecutor`` strips
+    the remote context), leaving no way to tell *which* of hundreds of
+    scenarios blew up.  This wrapper names the failing chunk's scenario
+    labels in the message and carries them on :attr:`labels`; the original
+    error is chained as ``__cause__`` for in-process runs and summarised
+    in the message for cross-process ones (chained causes do not survive
+    pickling).
+    """
+
+    def __init__(self, message: str, labels: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.labels = tuple(labels)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.labels))
 
 
 #: Solvers whose results do not depend on (seed, n_runs, horizon); their
@@ -78,10 +99,13 @@ def scenario_fingerprint(problem: LifetimeProblem, method: str) -> str:
     scenario solved via ``auto`` and via its concrete solver would be cached
     twice.  The uniformisation ``transient_mode`` is deliberately *not*
     part of the key: both strategies agree within ``epsilon``, so switching
-    the mode must not invalidate the deterministic cache.  The flip side:
-    a sweep meant to *cross-check* the two modes against each other must
-    run with ``cache=None`` (or distinct caches), otherwise the second
-    mode is served the first mode's cached results verbatim.
+    the mode must not invalidate the deterministic cache.  The
+    multi-battery product-chain ``backend`` (assembled / matrix-free /
+    lumped) is excluded for the same reason -- every backend computes the
+    same lifetime law.  The flip side:
+    a sweep meant to *cross-check* the two modes (or two backends) against
+    each other must run with ``cache=None`` (or distinct caches), otherwise
+    the second run is served the first run's cached results verbatim.
     """
     if str(method) in DETERMINISTIC_METHODS:
         stochastic_knobs = ()
@@ -355,6 +379,11 @@ def _chain_group_key(problem: LifetimeProblem, method: str) -> tuple:
 def _estimated_cost(problem: LifetimeProblem, method: str) -> float:
     """Crude per-scenario cost estimate used to balance worker chunks."""
     if method == MRMUniformizationSolver.name:
+        if problem.is_multibattery:
+            # Budget on the chain the resolved backend iterates on: a
+            # symmetry-lumped bank is far cheaper than its raw product
+            # space suggests.
+            return float(problem.estimated_backend_states()) * float(problem.times.size)
         return float(problem.estimated_mrm_states()) * float(problem.times.size)
     if method == "monte-carlo":
         return float(problem.n_runs) * 100.0
@@ -415,7 +444,21 @@ def _solve_chunk(
     workspace = SolveWorkspace(horizon_caps=False)
     solved: list[tuple[int, LifetimeResult]] = []
     for indices, method, problems in chunk:
-        outcome = ScenarioBatch(problems).run(method, workspace=workspace)
+        try:
+            outcome = ScenarioBatch(problems).run(method, workspace=workspace)
+        except Exception as error:
+            # Attach the failing scenarios' identity: a bare worker
+            # exception is useless in a sweep of hundreds of scenarios.
+            labels = tuple(
+                problem.label or f"scenario #{index}"
+                for index, problem in zip(indices, problems)
+            )
+            named = ", ".join(repr(label) for label in labels)
+            raise SweepScenarioError(
+                f"solving sweep scenario(s) {named} with method {method!r} "
+                f"failed: {type(error).__name__}: {error}",
+                labels,
+            ) from error
         solved.extend(zip(indices, outcome.results))
     return solved
 

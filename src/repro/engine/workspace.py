@@ -61,20 +61,28 @@ class SolveWorkspace:
         self._poisson_misses0 = info.misses
 
     # ------------------------------------------------------------------
-    def discretized(self, model, delta: float, key: tuple) -> DiscretizedKiBaMRM:
+    def discretized(
+        self, model, delta: float, key: tuple, backend: str | None = None
+    ) -> DiscretizedKiBaMRM:
         """Return the expanded chain for *key*, building it at most once.
 
         Models that carry their own discretisation -- the multi-battery
         product systems expose a ``discretize(delta)`` method -- are
         dispatched to it; plain :class:`KiBaMRM` models go through the
-        single-battery :func:`discretize`.
+        single-battery :func:`discretize`.  *backend* selects the
+        multi-battery realisation (assembled CSR, matrix-free operator,
+        or symmetry-lumped quotient); callers must fold it into *key*,
+        because the backends build different chain objects for the same
+        physical chain.
         """
         chain = self.chains.get(key)
         if chain is None:
             if isinstance(model, KiBaMRM):
                 chain = discretize(model, delta)
-            else:
+            elif backend is None:
                 chain = model.discretize(delta)
+            else:
+                chain = model.discretize(delta, backend=backend)
             self.chains[key] = chain
             self.builds += 1
         else:

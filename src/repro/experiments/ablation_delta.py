@@ -10,8 +10,6 @@ the exact curve and the size of the expanded chain.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.convergence import delta_convergence_study
 from repro.analysis.distribution import LifetimeDistribution
 from repro.analysis.report import format_table

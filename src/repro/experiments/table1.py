@@ -77,13 +77,22 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     data["fitted_k_per_second"] = fitted_k
 
     table = format_table(
-        ["frequency", "experimental (min, from paper)", "KiBaM (min)", "modified KiBaM (min)", "modified KiBaM stochastic (min)"],
+        [
+            "frequency",
+            "experimental (min, from paper)",
+            "KiBaM (min)",
+            "modified KiBaM (min)",
+            "modified KiBaM stochastic (min)",
+        ],
         rows,
+    )
+    fitted_table = format_table(
+        ["quantity", "value"], [["k (1/s)", fitted_k], ["paper k (1/s)", 4.5e-5]]
     )
     return ExperimentResult(
         experiment_id="table1",
         title="Experimental and computed lifetimes (Table 1)",
-        tables={"lifetimes": table, "fitted k": format_table(["quantity", "value"], [["k (1/s)", fitted_k], ["paper k (1/s)", 4.5e-5]])},
+        tables={"lifetimes": table, "fitted k": fitted_table},
         data=data,
         paper_reference={
             "table": PAPER_TABLE1,

@@ -35,8 +35,15 @@ from repro.markov.generator import (
     embedded_jump_matrix,
     exit_rates,
     is_generator,
+    kron_chain,
     uniformized_matrix,
     validate_generator,
+)
+from repro.markov.kronecker import (
+    KroneckerGenerator,
+    KroneckerTerm,
+    UniformizedOperator,
+    assembled_csr_bytes,
 )
 from repro.markov.phase_type import (
     PhaseTypeDistribution,
@@ -64,13 +71,17 @@ __all__ = [
     "BatchTransientResult",
     "CTMC",
     "DTMC",
+    "KroneckerGenerator",
+    "KroneckerTerm",
     "PhaseTypeDistribution",
     "PoissonWeights",
     "TransientPropagator",
     "UniformizationResult",
+    "UniformizedOperator",
     "absorption_probabilities",
     "absorption_time_cdf",
     "as_csr",
+    "assembled_csr_bytes",
     "build_generator",
     "cached_poisson_weights",
     "embedded_jump_matrix",
@@ -82,6 +93,7 @@ __all__ = [
     "fox_glynn",
     "hyperexponential",
     "is_generator",
+    "kron_chain",
     "poisson_weights",
     "steady_state_distribution",
     "transient_distribution",

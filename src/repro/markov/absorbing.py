@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg
 
 from repro.markov.uniformization import uniformized_transient
 

@@ -130,8 +130,15 @@ def build_generator(
 
 
 def exit_rates(generator) -> np.ndarray:
-    """Return the exit rate ``q_i = -Q[i, i]`` of every state."""
-    if _is_sparse(generator):
+    """Return the exit rate ``q_i = -Q[i, i]`` of every state.
+
+    Accepts dense arrays, scipy sparse matrices and the matrix-free
+    operators of :mod:`repro.markov.kronecker` (which expose their
+    precomputed diagonal).
+    """
+    from repro.markov.kronecker import KroneckerGenerator
+
+    if _is_sparse(generator) or isinstance(generator, KroneckerGenerator):
         diagonal = generator.diagonal()
     else:
         diagonal = np.diagonal(np.asarray(generator, dtype=float))

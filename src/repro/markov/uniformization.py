@@ -60,6 +60,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.markov.generator import as_csr, validate_generator
+from repro.markov.kronecker import KroneckerGenerator, UniformizedOperator
 from repro.markov.poisson import (
     PoissonWeights,
     cached_poisson_weights,
@@ -217,11 +218,21 @@ class TransientPropagator:
     """
 
     def __init__(self, generator, *, rate: float | None = None, validate: bool = True):
-        matrix = as_csr(generator)
-        if matrix.shape[0] != matrix.shape[1]:
-            raise ValueError(f"generator must be square, got shape {matrix.shape}")
-        if validate:
-            validate_generator(matrix)
+        self._matrix_free = isinstance(generator, KroneckerGenerator)
+        if self._matrix_free:
+            # Matrix-free chains stay operators end-to-end: validation is
+            # the operator's cheap structural check, and the uniformised
+            # matrix is the lazy map v -> v + (v Q)/rate instead of a CSR
+            # copy of the (possibly un-materialisable) product generator.
+            matrix = generator
+            if validate:
+                generator.validate()
+        else:
+            matrix = as_csr(generator)
+            if matrix.shape[0] != matrix.shape[1]:
+                raise ValueError(f"generator must be square, got shape {matrix.shape}")
+            if validate:
+                validate_generator(matrix)
         self._validate = bool(validate)
         self._generator = matrix
         exit = -matrix.diagonal()
@@ -237,20 +248,33 @@ class TransientPropagator:
                     f"uniformisation rate {rate} is smaller than the maximal exit "
                     f"rate {max_exit}"
                 )
-        n = matrix.shape[0]
-        self._probability_matrix = (
-            sp.identity(n, format="csr") + matrix / self._rate
-        ).tocsr()
+        if self._matrix_free:
+            self._probability_matrix = UniformizedOperator(matrix, self._rate)
+        else:
+            n = matrix.shape[0]
+            self._probability_matrix = (
+                sp.identity(n, format="csr") + matrix / self._rate
+            ).tocsr()
 
     # ------------------------------------------------------------------
     @property
     def generator(self):
-        """The generator, as the CSR matrix used internally."""
+        """The generator: the CSR matrix used internally, or the operator.
+
+        Matrix-free chains (a
+        :class:`~repro.markov.kronecker.KroneckerGenerator`) are kept as
+        operators; everything else is the CSR conversion.
+        """
         return self._generator
 
     @property
+    def is_matrix_free(self) -> bool:
+        """Whether the chain is propagated through a matrix-free operator."""
+        return self._matrix_free
+
+    @property
     def probability_matrix(self):
-        """The uniformised DTMC matrix ``P = I + Q/rate`` (CSR)."""
+        """The uniformised DTMC matrix ``P = I + Q/rate`` (CSR or operator)."""
         return self._probability_matrix
 
     @property

@@ -36,6 +36,11 @@ Quick start
 >>> result = solve_lifetime(problem, "mrm-uniformization")
 """
 
+from repro.multibattery.lumping import (
+    LumpedMultiBatterySystem,
+    discretize_lumped,
+    multiset_count,
+)
 from repro.multibattery.policies import (
     BestOfPolicy,
     RoundRobinPolicy,
@@ -46,14 +51,22 @@ from repro.multibattery.policies import (
     register_policy,
 )
 from repro.multibattery.problem import DEFAULT_MULTI_LEVELS, MultiBatteryProblem
-from repro.multibattery.system import DiscretizedMultiBatterySystem, MultiBatterySystem
+from repro.multibattery.system import (
+    BACKENDS,
+    DiscretizedMultiBatterySystem,
+    MultiBatterySystem,
+)
 
 __all__ = [
+    "BACKENDS",
     "BestOfPolicy",
     "DEFAULT_MULTI_LEVELS",
     "DiscretizedMultiBatterySystem",
+    "LumpedMultiBatterySystem",
     "MultiBatteryProblem",
     "MultiBatterySystem",
+    "discretize_lumped",
+    "multiset_count",
     "RoundRobinPolicy",
     "SchedulingPolicy",
     "StaticSplitPolicy",

@@ -95,6 +95,17 @@ class SchedulingPolicy:
         """
         return None
 
+    def is_symmetric(self, n_batteries: int) -> bool:
+        """Whether the routing weights are invariant under battery permutations.
+
+        Permutation symmetry (``w(perm(levels)) == perm(w(levels))`` for
+        every battery permutation) is what makes the exact symmetry
+        quotient of :mod:`repro.multibattery.lumping` applicable to banks
+        of identical batteries.  The conservative default is ``False``;
+        policies that are genuinely exchangeable override this.
+        """
+        return False
+
     def key(self) -> tuple:
         """Hashable fingerprint of the policy (name and parameters)."""
         return (self.name,)
@@ -145,6 +156,15 @@ class StaticSplitPolicy(SchedulingPolicy):
         split = self.split_weights(alive.shape[-1])
         weights = np.broadcast_to(split, alive.shape)
         return _renormalized(weights, alive)[None, ...]
+
+    def is_symmetric(self, n_batteries: int) -> bool:
+        """An equal split treats the batteries exchangeably; a skew does not."""
+        if self._weights is None:
+            return True
+        return bool(
+            self._weights.size == n_batteries
+            and np.all(self._weights == self._weights[0])
+        )
 
     def key(self) -> tuple:
         weights = None if self._weights is None else tuple(float(w) for w in self._weights)
@@ -231,6 +251,10 @@ class BestOfPolicy(SchedulingPolicy):
         if max_current <= 0.0:
             return None
         return smallest / (200.0 * max_current)
+
+    def is_symmetric(self, n_batteries: int) -> bool:
+        """Routing by charge ordering alone is invariant under permutations."""
+        return True
 
     def key(self) -> tuple:
         return (self.name, float(self.tie_tolerance))

@@ -30,7 +30,7 @@ import numpy as np
 from repro.battery.parameters import KiBaMParameters
 from repro.engine.problem import LifetimeProblem
 from repro.multibattery.policies import SchedulingPolicy, get_policy
-from repro.multibattery.system import MultiBatterySystem
+from repro.multibattery.system import BACKENDS, MultiBatterySystem
 
 __all__ = ["MultiBatteryProblem", "DEFAULT_MULTI_LEVELS"]
 
@@ -66,6 +66,18 @@ class MultiBatteryProblem(LifetimeProblem):
     failures_to_die:
         The ``k`` of the k-of-N depletion predicate; ``None`` selects
         ``k = N`` (the system survives on its last battery).
+    backend:
+        Product-chain realisation handed to the MRM solver:
+        ``"assembled"`` (one merged CSR matrix), ``"matrix-free"``
+        (factor-wise operator application, for banks whose assembled
+        generator would not fit), ``"lumped"`` (the exact
+        permutation-symmetry quotient for identical-battery banks), or
+        ``"auto"`` (the default; resolved from bank size and symmetry via
+        :meth:`~repro.multibattery.system.MultiBatterySystem.resolve_backend`).
+        All backends agree within the solver's ``epsilon``, so -- like
+        ``transient_mode`` -- the backend is *excluded* from
+        :meth:`chain_key` and hence from the sweep-cache fingerprints;
+        cross-check runs between backends need distinct caches.
     """
 
     battery: KiBaMParameters | None = None
@@ -74,6 +86,7 @@ class MultiBatteryProblem(LifetimeProblem):
     policy: str | SchedulingPolicy = "static-split"
     policy_params: dict = field(default_factory=dict, compare=False)
     failures_to_die: int | None = None
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         batteries = tuple(self.batteries)
@@ -97,6 +110,11 @@ class MultiBatteryProblem(LifetimeProblem):
                 f"failures_to_die must lie in [1, {len(batteries)}], got {k}"
             )
         object.__setattr__(self, "failures_to_die", k)
+        if self.backend not in BACKENDS + ("auto",):
+            raise ValueError(
+                f"unknown multi-battery backend {self.backend!r}; expected one "
+                f"of {BACKENDS + ('auto',)}"
+            )
         super().__post_init__()
         if self.delta is not None:
             smallest = min(battery.available_capacity for battery in batteries)
@@ -151,13 +169,57 @@ class MultiBatteryProblem(LifetimeProblem):
         step = float(delta) if delta is not None else self.effective_delta
         return self.model().estimated_states(step)
 
+    def resolved_backend(
+        self, delta: float | None = None, *, assembled_limit: int | None = None
+    ) -> str:
+        """The concrete product-chain backend the MRM solver will use.
+
+        Memoised per ``(step, assembled_limit)``: batch grouping, sweep
+        cost estimation and the ``auto`` dispatch all consult the
+        resolution for the same frozen problem, and rebuilding the model
+        and its per-battery grids each time would be pure waste.
+        """
+        step = float(delta) if delta is not None else self.effective_delta
+        cache = self.__dict__.get("_backend_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_backend_cache", cache)
+        key = (step, assembled_limit)
+        resolved = cache.get(key)
+        if resolved is None:
+            resolved = self.model().resolve_backend(
+                step, self.backend, assembled_limit=assembled_limit
+            )
+            cache[key] = resolved
+        return resolved
+
+    def estimated_backend_states(
+        self, delta: float | None = None, *, assembled_limit: int | None = None
+    ) -> int:
+        """State count of the chain the resolved backend actually iterates on.
+
+        The ``auto`` solver dispatch budgets on this rather than on the raw
+        product-space size: the lumped quotient of a large identical bank
+        can be orders of magnitude smaller than the product space, keeping
+        the Markovian approximation viable where PR 4 fell back to
+        Monte-Carlo.
+        """
+        step = float(delta) if delta is not None else self.effective_delta
+        if self.resolved_backend(step, assembled_limit=assembled_limit) == "lumped":
+            return self.model().estimated_lumped_states(step)
+        return self.estimated_mrm_states(step)
+
     # ------------------------------------------------------------------
     def chain_key(self) -> tuple:
         """Cache key identifying the product chain this problem assembles.
 
         Covers the workload, every battery of the bank, the step size, the
         policy (name and parameters) and the depletion predicate -- the
-        complete identity of the product generator.
+        complete identity of the product generator.  The *backend* is
+        deliberately excluded (all backends compute the same lifetime law
+        within ``epsilon``); chain caches that must not mix backends --
+        the workspace's builds and propagators -- key on the backend
+        separately.
         """
         return (
             self.workload_fingerprint(),
@@ -183,3 +245,7 @@ class MultiBatteryProblem(LifetimeProblem):
     def with_policy(self, policy, **policy_params) -> "MultiBatteryProblem":
         """Return a copy scheduled by a different policy."""
         return replace(self, policy=policy, policy_params=policy_params)
+
+    def with_backend(self, backend: str) -> "MultiBatteryProblem":
+        """Return a copy solved through a different product-chain backend."""
+        return replace(self, backend=backend)

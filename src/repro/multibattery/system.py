@@ -11,8 +11,7 @@ KiBaM batteries and a scheduling policy into a single product-space CTMC:
 where ``G_b`` is battery ``b``'s discretised charge grid (the same
 :class:`~repro.core.grid.RewardGrid` the single-battery Markovian
 approximation uses) and the phase factor is the policy's optional switch
-clock.  The generator is assembled from **sparse Kronecker products**
-(:func:`repro.markov.kron_chain` on the CSR boundary):
+clock.  The transition structure is Kronecker-shaped:
 
 * workload and phase transitions are local to their own factor,
 * each battery's bound-to-available **transfer** transitions are local to
@@ -24,10 +23,26 @@ clock.  The generator is assembled from **sparse Kronecker products**
   charge configuration (``best-of``) -- enters as a diagonal row scaling
   of the lifted matrix.
 
+Three interchangeable **backends** realise that structure
+(:meth:`MultiBatterySystem.discretize` selects one; every backend yields
+the same lifetime CDF within floating-point accuracy):
+
+* ``"assembled"`` -- sparse Kronecker products merged into one CSR matrix
+  (:func:`repro.markov.kron_chain`), the PR 4 construction; memory and
+  assembly time grow with the product-space size.
+* ``"matrix-free"`` -- a
+  :class:`~repro.markov.kronecker.KroneckerGenerator` operator that
+  applies ``v @ Q`` factor-wise and never materialises the product CSR,
+  unlocking banks whose assembled generator would not fit in memory.
+* ``"lumped"`` -- for banks of *identical* batteries under a
+  permutation-symmetric policy, the exact quotient chain over sorted
+  charge multisets (:mod:`repro.multibattery.lumping`), shrinking the
+  state space by up to ``N!``.
+
 System failure is a configurable **k-of-N depletion predicate**: the
 system is dead as soon as at least ``failures_to_die`` batteries have
 emptied their available well.  Failed product states are made absorbing
-exactly like the single-battery empty states, so the resulting chain drops
+exactly like the single-battery empty states, so every backend drops
 straight into the existing :class:`~repro.markov.uniformization.TransientPropagator`
 machinery (including the incremental fast path and its steady-state
 detection) with the failed-state indicator as the projection vector.
@@ -45,10 +60,27 @@ from repro.battery.parameters import KiBaMParameters
 from repro.core.discretization import _transfer_rates
 from repro.core.grid import RewardGrid
 from repro.markov.generator import kron_chain
+from repro.markov.kronecker import KroneckerGenerator, KroneckerTerm
 from repro.multibattery.policies import SchedulingPolicy, get_policy
 from repro.workload.base import WorkloadModel
 
-__all__ = ["DiscretizedMultiBatterySystem", "MultiBatterySystem"]
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_ASSEMBLED_STATE_LIMIT",
+    "DiscretizedMultiBatterySystem",
+    "MultiBatterySystem",
+]
+
+#: The product-chain realisations :meth:`MultiBatterySystem.discretize`
+#: can produce.
+BACKENDS = ("assembled", "matrix-free", "lumped")
+
+#: Largest product space the ``auto`` backend resolution still assembles as
+#: CSR; beyond it, non-lumpable banks go matrix-free.  Matches the ``auto``
+#: solver dispatch limit for single-battery chains: up to this size the
+#: assembled matrix is cheap enough that its faster per-iteration sparse
+#: products win.
+DEFAULT_ASSEMBLED_STATE_LIMIT = 200_000
 
 
 def _battery_grid(battery: KiBaMParameters, delta: float) -> RewardGrid:
@@ -96,6 +128,25 @@ def _off_diagonal(generator: np.ndarray) -> np.ndarray:
     off = np.asarray(generator, dtype=float).copy()
     np.fill_diagonal(off, 0.0)
     return off
+
+
+@dataclass(frozen=True)
+class _ProductMetadata:
+    """Shared per-discretisation data of the assembled and matrix-free paths."""
+
+    grids: tuple[RewardGrid, ...]
+    cells: tuple[int, ...]
+    strides: np.ndarray
+    n_aux: int
+    n_cells: int
+    n_states: int
+    levels: np.ndarray
+    alive: np.ndarray
+    failed_cells: np.ndarray
+    weights: np.ndarray
+    currents_aux: np.ndarray
+    initial_distribution: np.ndarray
+    empty_states: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -147,6 +198,35 @@ class MultiBatterySystem:
         """Number of phase-clock states the policy adds."""
         return self.policy.n_phases(self.n_batteries)
 
+    @property
+    def identical_batteries(self) -> bool:
+        """Whether every battery of the bank has the same parameter set.
+
+        Uses full dataclass equality, so a parameter field added to
+        :class:`KiBaMParameters` later cannot silently slip past the
+        lumpability check.
+        """
+        first = self.batteries[0]
+        return all(battery == first for battery in self.batteries[1:])
+
+    @property
+    def lumpable(self) -> bool:
+        """Whether the permutation-symmetry quotient (``"lumped"``) applies.
+
+        Requires at least two *identical* batteries and a policy that is
+        invariant under battery permutations and carries no phase clock --
+        then states that differ only by a permutation of the per-battery
+        charges behave identically and collapse exactly onto sorted charge
+        multisets (see :mod:`repro.multibattery.lumping`).
+        """
+        n = self.n_batteries
+        return (
+            n >= 2
+            and self.identical_batteries
+            and self.policy.is_symmetric(n)
+            and self.policy.n_phases(n) == 1
+        )
+
     def estimated_states(self, delta: float) -> int:
         """Product-space size for step *delta*, without building anything."""
         cells = 1
@@ -155,16 +235,55 @@ class MultiBatterySystem:
             cells *= grid.n_cells
         return self.workload.n_states * self.n_phases * cells
 
+    def estimated_lumped_states(self, delta: float) -> int:
+        """Quotient-chain size for step *delta* (requires :attr:`lumpable`).
+
+        The sorted charge multisets of ``N`` identical batteries over
+        ``n_cells`` grid cells number ``C(n_cells + N - 1, N)``.
+        """
+        if not self.lumpable:
+            raise ValueError(
+                "the lumped backend needs >= 2 identical batteries under a "
+                "permutation-symmetric, phase-free policy"
+            )
+        n_cells = _battery_grid(self.batteries[0], delta).n_cells
+        n = self.n_batteries
+        return self.workload.n_states * math.comb(n_cells + n - 1, n)
+
+    def resolve_backend(
+        self, delta: float, backend: str = "auto", *, assembled_limit: int | None = None
+    ) -> str:
+        """Resolve ``"auto"`` to a concrete backend from bank size and symmetry.
+
+        Identical-battery banks under a symmetric policy are lumped (the
+        quotient chain is strictly smaller and exact); other banks are
+        assembled while the product space stays below *assembled_limit*
+        states (default :data:`DEFAULT_ASSEMBLED_STATE_LIMIT`) and solved
+        matrix-free beyond that.  The ``auto`` solver dispatch passes its
+        own MRM budget as *assembled_limit* so the two size thresholds
+        cannot disagree.
+        """
+        if backend != "auto":
+            if backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown multi-battery backend {backend!r}; expected one "
+                    f"of {BACKENDS + ('auto',)}"
+                )
+            return backend
+        if self.lumpable:
+            return "lumped"
+        limit = DEFAULT_ASSEMBLED_STATE_LIMIT if assembled_limit is None else int(assembled_limit)
+        if self.estimated_states(delta) <= limit:
+            return "assembled"
+        return "matrix-free"
+
     # ------------------------------------------------------------------
-    def discretize(self, delta: float) -> "DiscretizedMultiBatterySystem":
-        """Assemble the product-space CTMC for step size *delta* (As)."""
-        delta = float(delta)
-        if not math.isfinite(delta) or delta <= 0:
-            raise ValueError("the step size delta must be positive and finite")
+    def _product_metadata(self, delta: float) -> _ProductMetadata:
+        """Everything both product-space backends share for step *delta*."""
         workload = self.workload
         n_batteries = self.n_batteries
         grids = tuple(_battery_grid(battery, delta) for battery in self.batteries)
-        cells = [grid.n_cells for grid in grids]
+        cells = tuple(grid.n_cells for grid in grids)
         n_cells = int(np.prod(cells))
         n_phases = self.n_phases
         n_aux = workload.n_states * n_phases
@@ -185,35 +304,6 @@ class MultiBatterySystem:
         alive = levels >= 1
         failed_cells = (~alive).sum(axis=1) >= self.failures_to_die
 
-        identities = [sp.identity(size, format="csr") for size in cells]
-        identity_phase = sp.identity(n_phases, format="csr")
-        identity_workload = sp.identity(workload.n_states, format="csr")
-
-        # 1. Workload and phase transitions: local to the aux factors.
-        aux_off = sp.kron(
-            _off_diagonal(workload.generator), identity_phase, format="csr"
-        ) + sp.kron(
-            identity_workload,
-            _off_diagonal(self.policy.phase_generator(n_batteries)),
-            format="csr",
-        )
-        off_diagonal = kron_chain([aux_off] + identities)
-
-        # 2. Transfer transitions: local to one battery's grid factor.
-        identity_aux = sp.identity(n_aux, format="csr")
-        for b, (grid, battery) in enumerate(zip(grids, self.batteries)):
-            transfer = _transfer_matrix(grid, battery)
-            if transfer.nnz == 0:
-                continue
-            factors = [identity_aux] + identities[:b] + [transfer] + identities[b + 1 :]
-            off_diagonal = off_diagonal + kron_chain(factors)
-
-        # 3. Consumption transitions: current on the aux diagonal, a
-        #    down-shift on battery b's grid factor, and the policy's routing
-        #    weight as a diagonal row scaling over the full product space.
-        currents_aux = np.repeat(
-            np.asarray(workload.currents, dtype=float), n_phases
-        )
         weights = self.policy.routing_weights(
             levels.astype(float), alive
         )  # (n_phases, n_cells, n_batteries)
@@ -222,29 +312,7 @@ class MultiBatterySystem:
                 f"policy {self.policy.name!r} returned routing weights of shape "
                 f"{weights.shape}, expected {(n_phases, n_cells, n_batteries)}"
             )
-        drawing = currents_aux > 0.0
-        if np.any(drawing):
-            current_factor = sp.diags(currents_aux / delta).tocsr()
-            for b, grid in enumerate(grids):
-                shift = _consumption_shift(grid)
-                factors = [current_factor] + identities[:b] + [shift] + identities[b + 1 :]
-                lifted = kron_chain(factors)
-                # Routing weight of battery b for product state (i, p, cell):
-                # rows are aux-major, aux = i * n_phases + p, so the phase
-                # pattern tiles over the workload states.
-                weight_rows = np.tile(weights[:, :, b], (workload.n_states, 1)).ravel()
-                if not np.any(weight_rows > 0.0):
-                    continue
-                off_diagonal = off_diagonal + sp.diags(weight_rows) @ lifted
-
-        # Failed states are absorbing: zero their rows (workload, phase,
-        # transfer and consumption alike), mirroring the single-battery
-        # convention that empty states freeze entirely.
-        active_rows = np.tile(~failed_cells, n_aux).astype(float)
-        off_diagonal = (sp.diags(active_rows) @ off_diagonal).tocsr()
-        off_diagonal.eliminate_zeros()
-        row_sums = np.asarray(off_diagonal.sum(axis=1)).ravel()
-        generator = (off_diagonal + sp.diags(-row_sums)).tocsr()
+        currents_aux = np.repeat(np.asarray(workload.currents, dtype=float), n_phases)
 
         # Initial distribution: the workload's initial law, phase 0, every
         # battery at its full-charge cell.
@@ -262,38 +330,209 @@ class MultiBatterySystem:
         states = np.nonzero(masses > 0.0)[0]
         initial[(states * n_phases + 0) * n_cells + full_cell] = masses[states]
 
-        failed_flat = np.nonzero(np.tile(failed_cells, n_aux))[0]
+        empty_states = np.nonzero(np.tile(failed_cells, n_aux))[0]
 
+        return _ProductMetadata(
+            grids=grids,
+            cells=cells,
+            strides=strides,
+            n_aux=n_aux,
+            n_cells=n_cells,
+            n_states=n_states,
+            levels=levels,
+            alive=alive,
+            failed_cells=failed_cells,
+            weights=weights,
+            currents_aux=currents_aux,
+            initial_distribution=initial,
+            empty_states=empty_states,
+        )
+
+    def _aux_off_diagonal(self) -> sp.csr_matrix:
+        """Workload and phase transitions on the combined aux factor."""
+        identity_phase = sp.identity(self.n_phases, format="csr")
+        identity_workload = sp.identity(self.workload.n_states, format="csr")
+        return sp.kron(
+            _off_diagonal(self.workload.generator), identity_phase, format="csr"
+        ) + sp.kron(
+            identity_workload,
+            _off_diagonal(self.policy.phase_generator(self.n_batteries)),
+            format="csr",
+        )
+
+    # ------------------------------------------------------------------
+    def discretize(
+        self, delta: float, backend: str = "assembled"
+    ) -> "DiscretizedMultiBatterySystem":
+        """Build the product-space CTMC for step size *delta* (As).
+
+        *backend* selects the realisation (see the module docstring):
+        ``"assembled"`` (CSR), ``"matrix-free"`` (operator), ``"lumped"``
+        (the exact symmetry quotient; its own state space and result
+        type), or ``"auto"`` (resolved via :meth:`resolve_backend`).
+        """
+        delta = float(delta)
+        if not math.isfinite(delta) or delta <= 0:
+            raise ValueError("the step size delta must be positive and finite")
+        backend = self.resolve_backend(delta, backend)
+        if backend == "lumped":
+            from repro.multibattery.lumping import discretize_lumped
+
+            return discretize_lumped(self, delta)
+        metadata = self._product_metadata(delta)
+        if backend == "matrix-free":
+            generator = self._matrix_free_generator(metadata, delta)
+        else:
+            generator = self._assembled_generator(metadata, delta)
         return DiscretizedMultiBatterySystem(
             system=self,
-            grids=grids,
+            grids=metadata.grids,
             generator=generator,
-            initial_distribution=initial,
-            empty_states=failed_flat,
-            levels=levels,
-            failed_cells=failed_cells,
+            initial_distribution=metadata.initial_distribution,
+            empty_states=metadata.empty_states,
+            levels=metadata.levels,
+            failed_cells=metadata.failed_cells,
+            backend=backend,
         )
+
+    def _assembled_generator(
+        self, metadata: _ProductMetadata, delta: float
+    ) -> sp.csr_matrix:
+        """Merge the Kronecker structure into one CSR generator."""
+        workload = self.workload
+        grids = metadata.grids
+        identities = [sp.identity(size, format="csr") for size in metadata.cells]
+        n_phases = self.n_phases
+
+        # 1. Workload and phase transitions: local to the aux factors.
+        off_diagonal = kron_chain([self._aux_off_diagonal()] + identities)
+
+        # 2. Transfer transitions: local to one battery's grid factor.
+        identity_aux = sp.identity(metadata.n_aux, format="csr")
+        for b, (grid, battery) in enumerate(zip(grids, self.batteries)):
+            transfer = _transfer_matrix(grid, battery)
+            if transfer.nnz == 0:
+                continue
+            factors = [identity_aux] + identities[:b] + [transfer] + identities[b + 1 :]
+            off_diagonal = off_diagonal + kron_chain(factors)
+
+        # 3. Consumption transitions: current on the aux diagonal, a
+        #    down-shift on battery b's grid factor, and the policy's routing
+        #    weight as a diagonal row scaling over the full product space.
+        if np.any(metadata.currents_aux > 0.0):
+            current_factor = sp.diags(metadata.currents_aux / delta).tocsr()
+            for b, grid in enumerate(grids):
+                shift = _consumption_shift(grid)
+                factors = [current_factor] + identities[:b] + [shift] + identities[b + 1 :]
+                lifted = kron_chain(factors)
+                # Routing weight of battery b for product state (i, p, cell):
+                # rows are aux-major, aux = i * n_phases + p, so the phase
+                # pattern tiles over the workload states.
+                weight_rows = np.tile(
+                    metadata.weights[:, :, b], (workload.n_states, 1)
+                ).ravel()
+                if not np.any(weight_rows > 0.0):
+                    continue
+                off_diagonal = off_diagonal + sp.diags(weight_rows) @ lifted
+
+        # Failed states are absorbing: zero their rows (workload, phase,
+        # transfer and consumption alike), mirroring the single-battery
+        # convention that empty states freeze entirely.
+        active_rows = np.tile(~metadata.failed_cells, metadata.n_aux).astype(float)
+        off_diagonal = (sp.diags(active_rows) @ off_diagonal).tocsr()
+        off_diagonal.eliminate_zeros()
+        row_sums = np.asarray(off_diagonal.sum(axis=1)).ravel()
+        return (off_diagonal + sp.diags(-row_sums)).tocsr()
+
+    def _matrix_free_generator(
+        self, metadata: _ProductMetadata, delta: float
+    ) -> KroneckerGenerator:
+        """The same transition structure as a factor-wise operator.
+
+        Every assembled summand maps onto one
+        :class:`~repro.markov.kronecker.KroneckerTerm`: the small factor
+        matrices are identical, and the full-space diagonal scalings
+        (k-of-N absorption mask, per-state currents, routing weights)
+        become broadcastable per-axis-group scalings -- the active/weight
+        masks live on the joint cell axes, the current on the aux axis.
+        Phase-dependent routing (round-robin) splits the consumption of a
+        battery into one term per phase, keeping every scaling a product
+        of an aux vector and a cell-space array.
+        """
+        dims = (metadata.n_aux,) + metadata.cells
+        cell_shape = (1,) + metadata.cells
+        n_phases = self.n_phases
+        active_cells = (~metadata.failed_cells).astype(float).reshape(cell_shape)
+
+        terms: list[KroneckerTerm] = []
+        aux_off = self._aux_off_diagonal()
+        if aux_off.nnz:
+            terms.append(KroneckerTerm(factors=((0, aux_off),), scales=(active_cells,)))
+
+        for b, (grid, battery) in enumerate(zip(metadata.grids, self.batteries)):
+            transfer = _transfer_matrix(grid, battery)
+            if transfer.nnz:
+                terms.append(
+                    KroneckerTerm(factors=((b + 1, transfer),), scales=(active_cells,))
+                )
+
+        if np.any(metadata.currents_aux > 0.0):
+            aux_index = np.arange(metadata.n_aux)
+            for b, grid in enumerate(metadata.grids):
+                shift = _consumption_shift(grid)
+                if shift.nnz == 0:
+                    continue
+                for phase in range(n_phases):
+                    weight_cells = (
+                        metadata.weights[phase, :, b] * (~metadata.failed_cells)
+                    )
+                    if not np.any(weight_cells > 0.0):
+                        continue
+                    current_scale = np.where(
+                        aux_index % n_phases == phase,
+                        metadata.currents_aux / delta,
+                        0.0,
+                    ).reshape((metadata.n_aux,) + (1,) * len(metadata.cells))
+                    terms.append(
+                        KroneckerTerm(
+                            factors=((b + 1, shift),),
+                            scales=(current_scale, weight_cells.reshape(cell_shape)),
+                        )
+                    )
+
+        # Construction-time validation keeps parity with the assembled
+        # backend, whose TransientPropagator validation would catch e.g. a
+        # buggy custom policy emitting negative routing weights; the checks
+        # scan only the factor matrices and scaling arrays, never the
+        # product space.
+        return KroneckerGenerator(dims, terms, validate=True)
 
 
 @dataclass(frozen=True)
 class DiscretizedMultiBatterySystem:
-    """The assembled product-space CTMC of a multi-battery system.
+    """The product-space CTMC of a multi-battery system.
 
     Exposes the same surface as
     :class:`~repro.core.discretization.DiscretizedKiBaMRM` (``generator``,
     ``initial_distribution``, ``empty_states``, ``n_states``,
     ``n_nonzero``), so the engine's workspace, propagator caching and
     batched solves apply unchanged; ``empty_states`` holds the
-    *system-failed* absorbing states of the k-of-N predicate.
+    *system-failed* absorbing states of the k-of-N predicate.  The
+    ``generator`` is a CSR matrix for the assembled backend and a
+    :class:`~repro.markov.kronecker.KroneckerGenerator` for the
+    matrix-free backend; both expose ``shape``, ``diagonal()`` and ``nnz``
+    (implied, for the operator), so all downstream size and rate
+    diagnostics are backend-uniform.
     """
 
     system: MultiBatterySystem
     grids: tuple[RewardGrid, ...]
-    generator: sp.csr_matrix
+    generator: sp.csr_matrix | KroneckerGenerator
     initial_distribution: np.ndarray
     empty_states: np.ndarray
     levels: np.ndarray
     failed_cells: np.ndarray
+    backend: str = "assembled"
 
     # ------------------------------------------------------------------
     @property
@@ -303,7 +542,12 @@ class DiscretizedMultiBatterySystem:
 
     @property
     def n_nonzero(self) -> int:
-        """Number of non-zero generator entries (including the diagonal)."""
+        """Number of non-zero generator entries (including the diagonal).
+
+        For the matrix-free backend this is the size the *assembled*
+        generator would have -- the operator's memory footprint is the
+        diagonal plus the factor matrices and scalings.
+        """
         return int(self.generator.nnz)
 
     @property

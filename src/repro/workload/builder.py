@@ -7,7 +7,7 @@ everything to SI units when :meth:`WorkloadBuilder.build` is called.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -70,6 +70,58 @@ class TestRegressionDiff:
         improved = {"results": {"speedup": 40.0, "other_speedup": 1.0}}
         assert check_bench_regression.compare_records(baseline, improved) == []
 
+    def test_unresolvable_baseline_ref_skips_with_notice(self, tmp_path, monkeypatch, capsys):
+        """A shallow clone (no ``HEAD^``) must skip the diff, not error."""
+        import subprocess
+
+        repo = tmp_path / "shallow"
+        repo.mkdir()
+        subprocess.run(["git", "init", "-q"], cwd=repo, check=True)
+        record = repo / "BENCH_x.json"
+        record.write_text(json.dumps({"results": {"speedup": 3.0}}))
+        subprocess.run(["git", "add", "BENCH_x.json"], cwd=repo, check=True)
+        subprocess.run(
+            ["git", "-c", "user.email=ci@example.invalid", "-c", "user.name=ci",
+             "commit", "-q", "-m", "only commit"],
+            cwd=repo,
+            check=True,
+        )
+        monkeypatch.chdir(repo)
+        # HEAD^ does not exist on a single-commit history: skip, exit 0.
+        assert (
+            check_bench_regression.main(["BENCH_x.json", "--baseline-ref", "HEAD^"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "does not resolve" in out and "skipping" in out
+        # A resolvable ref without the file also skips per record.
+        assert (
+            check_bench_regression.main(
+                ["BENCH_missing.json", "--baseline-ref", "HEAD"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "no fresh record" in out
+
+    def test_outside_any_git_checkout_skips_with_notice(self, tmp_path, monkeypatch, capsys):
+        record = tmp_path / "BENCH_x.json"
+        record.write_text(json.dumps({"results": {"speedup": 3.0}}))
+        monkeypatch.chdir(tmp_path)
+        assert check_bench_regression.main(["BENCH_x.json"]) == 0
+        assert "does not resolve" in capsys.readouterr().out
+
+    def test_corrupt_fresh_record_skips_with_notice(self, tmp_path, capsys):
+        base_dir = tmp_path / "base"
+        base_dir.mkdir()
+        (base_dir / "BENCH_x.json").write_text(json.dumps({"results": {"speedup": 3.0}}))
+        fresh = tmp_path / "BENCH_x.json"
+        fresh.write_text("{not json")
+        assert (
+            check_bench_regression.main([str(fresh), "--baseline-dir", str(base_dir)])
+            == 0
+        )
+        assert "not valid JSON" in capsys.readouterr().out
+
     def test_main_with_baseline_dir(self, tmp_path):
         fresh_dir = tmp_path / "fresh"
         base_dir = tmp_path / "base"

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.battery.parameters import KiBaMParameters, rao_battery_parameters
+from repro.battery.profiles import ConstantLoad
 from repro.engine import (
     LifetimeProblem,
     LifetimeResult,
@@ -20,7 +21,6 @@ from repro.engine import (
     register_solver,
     solve_lifetime,
 )
-from repro.battery.profiles import ConstantLoad
 from repro.workload.onoff import onoff_workload
 from repro.workload.simple import simple_workload
 

@@ -8,13 +8,13 @@ for a unit-test suite (Table 1 with few stochastic runs and Figure 2).
 import numpy as np
 import pytest
 
+from repro.experiments import figure2, table1
 from repro.experiments.registry import (
     ExperimentConfig,
     ExperimentResult,
     available_experiments,
     get_experiment,
 )
-from repro.experiments import figure2, table1
 
 
 class TestRegistry:

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.linalg
 import scipy.sparse as sp
 
 from repro.markov.transient import expm_transient

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.battery.parameters import KiBaMParameters
 from repro.core.kibamrm import KiBaMRM
 from repro.reward.discretisation import discretised_reward_distribution
 from repro.reward.inhomogeneous import InhomogeneousMRM, from_kibamrm

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.markov.phase_type import erlang
 from repro.reward.occupation import (
     occupation_time_distribution,
     occupation_time_exceeds,

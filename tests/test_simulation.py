@@ -26,7 +26,6 @@ from repro.simulation.trajectory import (
 from repro.simulation.vectorized import simulate_lifetimes_vectorized
 from repro.workload.base import WorkloadModel
 from repro.workload.onoff import onoff_workload
-from repro.workload.simple import simple_workload
 
 
 def absorbing_workload(*, on_current: float = 1.0, shutdown_rate: float = 0.01) -> WorkloadModel:

@@ -8,6 +8,7 @@ from repro.engine import (
     LifetimeProblem,
     ScenarioBatch,
     SweepCache,
+    SweepScenarioError,
     SweepSpec,
     run_sweep,
     scenario_fingerprint,
@@ -178,6 +179,37 @@ class TestRunSweep:
     def test_empty_sweep_rejected(self):
         with pytest.raises(ValueError):
             run_sweep([])
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_worker_failures_name_the_scenario(self, max_workers):
+        """Regression: a failing scenario surfaces with its label attached.
+
+        The analytic solver rejects three-current workloads, so forcing it
+        on a sweep that contains one makes exactly that scenario blow up
+        inside the worker; the re-raised error must identify it instead of
+        surfacing as a bare solver exception.
+        """
+        from repro.workload.simple import simple_workload
+
+        good = LifetimeProblem(
+            workload=onoff_workload(frequency=0.5, erlang_k=1),
+            battery=small_battery(2000.0),
+            times=TIMES,
+            label="solvable on/off scenario",
+        )
+        # The cell-phone workload draws three distinct currents.
+        bad = LifetimeProblem(
+            workload=simple_workload(),
+            battery=small_battery(2000.0),
+            times=TIMES,
+            label="three-current scenario",
+        )
+        assert bad.n_current_levels > 2
+        with pytest.raises(SweepScenarioError) as caught:
+            run_sweep([good, bad], "analytic", max_workers=max_workers)
+        assert "three-current scenario" in str(caught.value)
+        assert caught.value.labels == ("three-current scenario",)
+        assert "UnsupportedProblemError" in str(caught.value)
 
     def test_sweep_diagnostics(self, spec):
         outcome = run_sweep(spec, max_workers=2)

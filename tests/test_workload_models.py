@@ -6,7 +6,6 @@ import pytest
 from repro.battery.units import SECONDS_PER_HOUR
 from repro.workload.base import WorkloadModel
 from repro.workload.builder import WorkloadBuilder
-from repro.workload.burst import burst_workload
 from repro.workload.catalog import available_workloads, get_workload, register_workload
 from repro.workload.dutycycle import duty_cycle_workload
 from repro.workload.mmpp import mmpp_workload
