@@ -70,13 +70,15 @@ def chain_merge_key(problem: LifetimeProblem) -> tuple:
         # The resolved product-chain backend joins the key: scenarios pinned
         # to different backends build different chain objects and must not
         # share one blocked solve (their results agree, their workspaces
-        # do not).
+        # do not).  The kernel joins every variant for the same reason --
+        # one blocked pass runs one kernel.
         return (
             "identical",
             problem.chain_key(),
             problem.resolved_backend(),
             float(problem.epsilon),
             problem.transient_mode,
+            problem.kernel,
         )
     if problem.has_transfer:
         return (
@@ -84,6 +86,7 @@ def chain_merge_key(problem: LifetimeProblem) -> tuple:
             problem.chain_key(),
             float(problem.epsilon),
             problem.transient_mode,
+            problem.kernel,
         )
     return (
         "stacked",
@@ -93,6 +96,7 @@ def chain_merge_key(problem: LifetimeProblem) -> tuple:
         float(problem.effective_delta),
         float(problem.epsilon),
         problem.transient_mode,
+        problem.kernel,
     )
 
 
@@ -256,7 +260,13 @@ class ScenarioBatch:
         delta = anchor.effective_delta
         backend, key = _backend_and_key(anchor, delta)
         chain = ws.discretized(anchor.model(), delta, key, backend=backend)
-        propagator = ws.propagator(chain, key)
+        # The kernel joins the merge key, so the group is kernel-homogeneous;
+        # fold it into the propagator cache key (it is not part of the chain
+        # build key -- the chain itself is kernel-independent).
+        kernel = group[0].kernel
+        propagator = ws.propagator(
+            chain, key + (("kernel", kernel),), kernel=kernel
+        )
 
         # Scenarios with the same battery reduce to the same initial vector
         # (they differ only in time grid / label); deduplicate the rows so

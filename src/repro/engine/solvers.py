@@ -97,15 +97,21 @@ def transient_diagnostics(transient) -> dict:
     """Diagnostics entries describing one uniformisation transient solve.
 
     Shared by the individual MRM solver and the batched scenario runner so
-    both report the fast-path telemetry (mode, segment count, steady-state
-    detection point and the products it saved) under the same keys.
+    both report the fast-path telemetry (mode, resolved kernel, segment
+    count, steady-state detection point and the products it saved) under
+    the same keys, together with the process-global Poisson weight-cache
+    counters.
     """
+    from repro.markov.poisson import poisson_cache_diagnostics
+
     return {
         "transient_mode": transient.mode,
+        "kernel": transient.kernel,
         "n_segments": transient.n_segments,
         "iterations_saved": transient.iterations_saved,
         "steady_state_time": transient.steady_state_time,
         "steady_state_iteration": transient.steady_state_iteration,
+        **poisson_cache_diagnostics(),
     }
 
 
@@ -225,7 +231,12 @@ class MRMUniformizationSolver:
         delta = problem.effective_delta
         backend, build_key = _backend_and_key(problem, delta)
         chain = ws.discretized(problem.model(), delta, build_key, backend=backend)
-        propagator = ws.propagator(chain, build_key)
+        # The kernel joins the propagator cache key (not the chain build
+        # key): the same chain build serves every kernel, but each kernel
+        # holds its own prepared form of the uniformised matrix.
+        propagator = ws.propagator(
+            chain, build_key + (("kernel", problem.kernel),), kernel=problem.kernel
+        )
 
         transient = propagator.transient_batch(
             chain.initial_distribution[None, :],

@@ -101,8 +101,9 @@ def scenario_fingerprint(problem: LifetimeProblem, method: str) -> str:
     part of the key: both strategies agree within ``epsilon``, so switching
     the mode must not invalidate the deterministic cache.  The
     multi-battery product-chain ``backend`` (assembled / matrix-free /
-    lumped) is excluded for the same reason -- every backend computes the
-    same lifetime law.  The flip side:
+    lumped) and the compute ``kernel`` (scipy / compiled) are excluded for
+    the same reason -- every backend and kernel computes the same lifetime
+    law.  The flip side:
     a sweep meant to *cross-check* the two modes (or two backends) against
     each other must run with ``cache=None`` (or distinct caches), otherwise
     the second run is served the first run's cached results verbatim.
@@ -232,6 +233,10 @@ class SweepSpec:
         Uniformisation strategy shared by every scenario
         (``"incremental"`` or ``"single-pass"``); excluded from the cache
         fingerprints, which stay stable across modes.
+    kernel:
+        Uniformisation compute kernel shared by every scenario
+        (``"auto"``, ``"scipy"`` or ``"compiled"``); like
+        ``transient_mode``, excluded from the cache fingerprints.
     """
 
     workloads: Sequence[WorkloadModel | str]
@@ -246,6 +251,7 @@ class SweepSpec:
     horizon: float | None = None
     seed: int = DEFAULT_SEED
     transient_mode: str = "incremental"
+    kernel: str = "auto"
 
     def __len__(self) -> int:
         return (
@@ -311,6 +317,7 @@ class SweepSpec:
                                 seed=seeds[len(problems)],
                                 horizon=self.horizon,
                                 transient_mode=self.transient_mode,
+                                kernel=self.kernel,
                             )
                             if isinstance(bank, KiBaMParameters):
                                 label = (

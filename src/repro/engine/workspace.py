@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.core.discretization import DiscretizedKiBaMRM, discretize
 from repro.core.kibamrm import KiBaMRM
-from repro.markov.poisson import cached_poisson_weights
+from repro.markov.poisson import poisson_cache_diagnostics
 from repro.markov.uniformization import TransientPropagator
 
 __all__ = ["SolveWorkspace"]
@@ -53,12 +53,11 @@ class SolveWorkspace:
     build_hits: int = 0
 
     def __post_init__(self) -> None:
-        # Snapshot the process-global Poisson cache counters so diagnostics
-        # report what *this* workspace's solves contributed, not the
-        # cumulative process history.
-        info = cached_poisson_weights.cache_info()
-        self._poisson_hits0 = info.hits
-        self._poisson_misses0 = info.misses
+        # Snapshot the process-global Poisson cache counters (both the
+        # per-window memo and the shared-table memo) so diagnostics report
+        # what *this* workspace's solves contributed, not the cumulative
+        # process history.
+        self._poisson_baseline = poisson_cache_diagnostics()
 
     # ------------------------------------------------------------------
     def discretized(
@@ -89,11 +88,21 @@ class SolveWorkspace:
             self.build_hits += 1
         return chain
 
-    def propagator(self, chain: DiscretizedKiBaMRM, key: tuple) -> TransientPropagator:
-        """Return the cached uniformised propagator for *chain*."""
+    def propagator(
+        self, chain: DiscretizedKiBaMRM, key: tuple, *, kernel: str = "auto"
+    ) -> TransientPropagator:
+        """Return the cached uniformised propagator for *chain*.
+
+        *kernel* selects the compute kernel of the propagator's inner
+        loops (see :mod:`repro.markov.kernels`); callers must fold it
+        into *key*, because different kernels hold different prepared
+        forms of the same uniformised matrix.
+        """
         propagator = self.propagators.get(key)
         if propagator is None:
-            propagator = TransientPropagator(chain.generator, validate=False)
+            propagator = TransientPropagator(
+                chain.generator, validate=False, kernel=kernel
+            )
             self.propagators[key] = propagator
         return propagator
 
@@ -137,12 +146,24 @@ class SolveWorkspace:
         """Return reuse statistics (chain builds saved, Poisson cache hits).
 
         The Poisson counters are relative to the creation of this
-        workspace, so they describe the solves routed through it.
+        workspace, so they describe the solves routed through it.  The
+        legacy ``poisson_cache_*`` keys combine the per-window memo and
+        the shared-table memo; the per-cache breakdown follows under the
+        keys of
+        :func:`~repro.markov.poisson.poisson_cache_diagnostics`.
         """
-        info = cached_poisson_weights.cache_info()
+        current = poisson_cache_diagnostics()
+        deltas = {
+            key: max(0, value - self._poisson_baseline.get(key, 0))
+            for key, value in current.items()
+            if key.endswith(("_hits", "_misses"))
+        }
         return {
             "chain_builds": self.builds,
             "chain_build_hits": self.build_hits,
-            "poisson_cache_hits": max(0, info.hits - self._poisson_hits0),
-            "poisson_cache_misses": max(0, info.misses - self._poisson_misses0),
+            "poisson_cache_hits": deltas["poisson_window_cache_hits"]
+            + deltas["poisson_shared_cache_hits"],
+            "poisson_cache_misses": deltas["poisson_window_cache_misses"]
+            + deltas["poisson_shared_cache_misses"],
+            **deltas,
         }

@@ -48,14 +48,42 @@ __all__ = [
     "KroneckerGenerator",
     "KroneckerTerm",
     "UniformizedOperator",
+    "array_namespace",
     "assembled_csr_bytes",
     "is_matrix_free",
+    "to_host",
 ]
 
 
 def is_matrix_free(matrix) -> bool:
     """Return ``True`` when *matrix* is a matrix-free operator of this module."""
     return isinstance(matrix, (KroneckerGenerator, UniformizedOperator))
+
+
+def array_namespace(array):
+    """The array module that owns *array*: numpy by default, cupy on device.
+
+    The operators of this module are array-API generic in the pragmatic
+    sense: every contraction is expressed through the namespace of the
+    *input block*, so a cupy block keeps the whole ``v @ Q`` evaluation on
+    the GPU (cupy implements the ``__array_function__`` protocol, hence
+    the surrounding uniformisation loops dispatch transparently as well).
+    CPU-only environments never import anything beyond numpy.
+    """
+    module = type(array).__module__.partition(".")[0]
+    if module == "cupy":
+        import cupy
+
+        return cupy
+    return np
+
+
+def to_host(array):
+    """Return *array* as a host (numpy) array; device arrays are copied back."""
+    get = getattr(array, "get", None)
+    if callable(get) and type(array).__module__.partition(".")[0] == "cupy":
+        return get()
+    return array
 
 
 #: Factors up to this size are densified for the trailing-axis BLAS path
@@ -71,10 +99,13 @@ class _PreparedFactor:
     (C-ordered) product tensor:
 
     * a **non-trailing axis** reshapes the tensor to ``(left, f, right)``
-      views -- no copy -- and loops the factor's (few) non-zeros as
-      broadcast slice-updates ``out[:, j, :] += value * T[:, i, :]``; cost
-      ``nnz(F) * n / f`` element operations, independent of the transpose
-      gymnastics a matmul would need;
+      views -- no copy -- and contracts the factor's non-zeros grouped by
+      diagonal offset: all entries with ``col - row == d`` collapse into a
+      single broadcast update ``out[:, rows+d, :] += values * T[:, rows, :]``
+      (a pure slice expression when the rows are contiguous, which they
+      are for the shift-structured charge factors of the battery chains).
+      The historical entry-by-entry loop issued ``nnz(F)`` separate numpy
+      calls; the grouped form issues one per distinct offset;
     * the **trailing axis** is a contiguous ``(n/f, f)`` view, contracted
       in one matmul (dense BLAS for small factors, dense-by-sparse
       otherwise).
@@ -87,8 +118,92 @@ class _PreparedFactor:
         self.entries = list(zip(coo.row.tolist(), coo.col.tolist(), coo.data.tolist()))
         size = matrix.shape[0]
         self.dense = matrix.toarray() if size <= _DENSE_FACTOR_LIMIT else None
+        self._offsets = self._group_by_offset(coo)
+        self._device: dict[str, object] = {}
 
-    def apply(self, tensor: np.ndarray) -> np.ndarray:
+    @staticmethod
+    def _group_by_offset(coo) -> tuple:
+        """Group the non-zeros by diagonal offset for vectorised updates.
+
+        Returns ``(rows, cols, values)`` triples, one per distinct
+        ``col - row`` offset; *rows*/*cols* are slices when the offset's
+        row indices are contiguous (the common case: shift matrices), and
+        index arrays otherwise.
+        """
+        by_offset: dict[int, list[tuple[int, float]]] = {}
+        for row, col, value in zip(coo.row.tolist(), coo.col.tolist(), coo.data.tolist()):
+            by_offset.setdefault(col - row, []).append((row, value))
+        grouped = []
+        for offset in sorted(by_offset):
+            pairs = sorted(by_offset[offset])
+            rows = np.array([row for row, _ in pairs], dtype=np.intp)
+            values = np.array([value for _, value in pairs], dtype=float)
+            if rows.size > 1 and np.all(np.diff(rows) == 1):
+                row_index = slice(int(rows[0]), int(rows[-1]) + 1)
+                col_index = slice(int(rows[0]) + offset, int(rows[-1]) + 1 + offset)
+            elif rows.size == 1:
+                row_index = slice(int(rows[0]), int(rows[0]) + 1)
+                col_index = slice(int(rows[0]) + offset, int(rows[0]) + 1 + offset)
+            else:
+                row_index = rows
+                col_index = rows + offset
+            grouped.append((row_index, col_index, values))
+        return tuple(grouped)
+
+    def _offsets_for(self, xp) -> tuple:
+        """The offset groups with their value arrays in namespace *xp*."""
+        if xp is np:
+            return self._offsets
+        key = f"offsets:{xp.__name__}"
+        cached = self._device.get(key)
+        if cached is None:
+            cached = tuple(
+                (
+                    rows if isinstance(rows, slice) else xp.asarray(rows),
+                    cols if isinstance(cols, slice) else xp.asarray(cols),
+                    xp.asarray(values),
+                )
+                for rows, cols, values in self._offsets
+            )
+            self._device[key] = cached
+        return cached
+
+    def scaled(self, gain: float) -> "_PreparedFactor":
+        """A copy of this factor with every entry multiplied by *gain*.
+
+        Used by :class:`UniformizedOperator` to fold the ``1/rate`` of the
+        uniformised map into one (small) factor per term, removing a
+        full-space scaling pass per product.
+        """
+        return _PreparedFactor(self.axis, (self.matrix * float(gain)).tocsr())
+
+    def operand(self, xp):
+        """The trailing-axis matmul operand in namespace *xp* (cached).
+
+        numpy gets the prepared dense/CSR operand directly; other
+        namespaces get a device copy -- a device-sparse CSR when the
+        namespace ships one (``cupyx.scipy.sparse``), a dense device array
+        otherwise.  Factors are small, so the copies are cheap and made
+        once per namespace.
+        """
+        if xp is np:
+            return self.dense if self.dense is not None else self.matrix
+        key = xp.__name__
+        cached = self._device.get(key)
+        if cached is None:
+            if self.dense is not None:
+                cached = xp.asarray(self.dense)
+            else:
+                try:
+                    from cupyx.scipy import sparse as device_sparse
+
+                    cached = device_sparse.csr_matrix(self.matrix)
+                except ImportError:
+                    cached = xp.asarray(self.matrix.toarray())
+            self._device[key] = cached
+        return cached
+
+    def apply(self, tensor, xp=np):
         """Contract *tensor*'s axis with the factor rows (``v -> v @ F``)."""
         shape = tensor.shape
         axis = self.axis
@@ -96,14 +211,36 @@ class _PreparedFactor:
         right = int(np.prod(shape[axis + 1 :], dtype=np.int64))
         if right == 1:
             flat = tensor.reshape(-1, size)
-            operand = self.dense if self.dense is not None else self.matrix
-            return np.asarray(flat @ operand).reshape(shape)
+            return xp.asarray(flat @ self.operand(xp)).reshape(shape)
         left = int(np.prod(shape[:axis], dtype=np.int64))
         flat = tensor.reshape(left, size, right)
-        out = np.zeros_like(flat)
-        for i, j, value in self.entries:
-            out[:, j, :] += value * flat[:, i, :]
+        out = xp.zeros_like(flat)
+        for rows, cols, values in self._offsets_for(xp):
+            out[:, cols, :] += values[:, None] * flat[:, rows, :]
         return out.reshape(shape)
+
+    def apply_into(self, tensor, out, xp=np) -> None:
+        """Accumulate the contraction into *out* (``out += tensor @ F``).
+
+        The fused inner-loop form: no zero-initialised temporary and no
+        separate full-space add -- the slice updates (or the trailing-axis
+        matmul result) land directly in the caller's accumulator.  *out*
+        must be C-contiguous and of *tensor*'s shape.
+        """
+        shape = tensor.shape
+        axis = self.axis
+        size = shape[axis]
+        right = int(np.prod(shape[axis + 1 :], dtype=np.int64))
+        if right == 1:
+            flat = tensor.reshape(-1, size)
+            out_flat = out.reshape(-1, size)
+            out_flat += xp.asarray(flat @ self.operand(xp))
+            return
+        left = int(np.prod(shape[:axis], dtype=np.int64))
+        flat = tensor.reshape(left, size, right)
+        out_flat = out.reshape(left, size, right)
+        for rows, cols, values in self._offsets_for(xp):
+            out_flat[:, cols, :] += values[:, None] * flat[:, rows, :]
 
 
 @dataclass(frozen=True)
@@ -127,6 +264,117 @@ class KroneckerTerm:
 
     factors: tuple[tuple[int, sp.csr_matrix], ...]
     scales: tuple[np.ndarray, ...] = ()
+
+
+def _combine_scale_groups(scales) -> tuple:
+    """Greedily multiply a term's scalings together where that saves memory.
+
+    Each product of two scalings costs one full-tensor pass per operator
+    application forever after, so pre-combining pays -- but only when the
+    combined broadcast array is no larger than the arrays it replaces
+    (combining a ``(n_aux, 1, ..., 1)`` current profile with a
+    ``(1, c_1, ..., c_m)`` cell weight would materialise a full
+    product-space array and blow the matrix-free memory budget).  Greedy
+    first-fit keeps compatible shapes together and leaves the rest alone.
+    """
+    groups: list[np.ndarray] = []
+    for scale in scales:
+        for index, group in enumerate(groups):
+            shape = np.broadcast_shapes(group.shape, scale.shape)
+            combined_bytes = int(np.prod(shape, dtype=np.int64)) * scale.dtype.itemsize
+            if combined_bytes <= group.nbytes + scale.nbytes:
+                groups[index] = group * scale
+                break
+        else:
+            groups.append(scale)
+    return tuple(groups)
+
+
+def _apply_terms(rows, dims, diagonal, terms, xp):
+    """Shared fused evaluation core: ``rows @ (diag(diagonal) + sum terms)``.
+
+    *terms* is a sequence of ``(scale_groups, prepared_factors, gain)``
+    triples.  The evaluation makes exactly one output allocation (the
+    diagonal product) and reuses two scratch buffers for every scaling
+    chain; each term's last factor accumulates straight into the output
+    (:meth:`_PreparedFactor.apply_into`), so no per-term temporaries or
+    separate add passes remain.  *gain* is a scalar folded into factorless
+    terms only (factor-carrying terms fold gains into the factor values).
+
+    Terms whose scaling chain starts with the *same* array (by identity;
+    the generator canonicalises equal-content scalings at construction)
+    share the partial product ``rows * scale_groups[0]``: the bank chains
+    scale every consumption term by the same per-workload-state current
+    profile, so the shared prefix is computed once per product instead of
+    once per battery.
+    """
+    out = rows * diagonal
+    batch_dims = (rows.shape[0],) + tuple(dims)
+    out_tensor = out.reshape(batch_dims)
+    rows_tensor = rows.reshape(batch_dims)
+    scratch = None
+    prefix = None
+    prefix_id = None
+    for scale_groups, factors, gain in terms:
+        tensor = rows_tensor
+        if scale_groups:
+            first = scale_groups[0]
+            if id(first) != prefix_id:
+                if prefix is None:
+                    prefix = xp.empty(batch_dims, dtype=out.dtype)
+                xp.multiply(rows_tensor, first, out=prefix)
+                prefix_id = id(first)
+            if len(scale_groups) == 1:
+                tensor = prefix
+            else:
+                if scratch is None:
+                    scratch = xp.empty(batch_dims, dtype=out.dtype)
+                xp.multiply(prefix, scale_groups[1], out=scratch)
+                for scale in scale_groups[2:]:
+                    scratch *= scale
+                tensor = scratch
+        if factors:
+            for factor in factors[:-1]:
+                tensor = factor.apply(tensor, xp)
+            factors[-1].apply_into(tensor, out_tensor, xp)
+        elif gain == 1.0:
+            out_tensor += tensor
+        elif tensor is scratch:
+            scratch *= gain
+            out_tensor += scratch
+        else:
+            # ``tensor`` is the raw block or the memoised prefix -- both
+            # must survive later terms unchanged.
+            out_tensor += tensor * gain
+    return out
+
+
+def _device_terms(xp, diagonal, fused_terms) -> tuple:
+    """Device copies of a fused term list: ``(diagonal, terms)`` in *xp*.
+
+    Host arrays shared between terms map to one device array, so the
+    identity-keyed prefix memo of :func:`_apply_terms` keeps firing on
+    the device side.
+    """
+    device_of: dict[int, object] = {}
+
+    def device(array):
+        copied = device_of.get(id(array))
+        if copied is None:
+            copied = xp.asarray(array)
+            device_of[id(array)] = copied
+        return copied
+
+    device_diagonal = xp.asarray(diagonal)
+    device_terms = tuple(
+        (
+            tuple(device(scale) for scale in scale_groups),
+            factors,
+            gain,
+        )
+        for scale_groups, factors, gain in fused_terms
+    )
+    return device_diagonal, device_terms
 
 
 class KroneckerGenerator:
@@ -196,8 +444,30 @@ class KroneckerGenerator:
             [_PreparedFactor(axis + 1, matrix) for axis, matrix in term.factors]
             for term in self._terms
         ]
+        # The fused application form consumed by _apply_terms: per term the
+        # pre-combined scale groups, the prepared factors and a scalar gain
+        # (always 1 here; UniformizedOperator folds its 1/rate into these).
+        # Equal-content scale arrays are canonicalised to one object so the
+        # shared-prefix memo of _apply_terms (keyed by identity) fires for
+        # the per-battery terms, which all lead with the same current
+        # profile but are built from distinct array copies.
+        canonical: dict[tuple, np.ndarray] = {}
+
+        def canonicalised(array: np.ndarray) -> np.ndarray:
+            key = (array.shape, array.dtype.str, array.tobytes())
+            return canonical.setdefault(key, array)
+
+        self._fused_terms = tuple(
+            (
+                tuple(canonicalised(group) for group in _combine_scale_groups(term.scales)),
+                tuple(factors),
+                1.0,
+            )
+            for term, factors in zip(self._terms, self._prepared)
+        )
         self._diagonal = -self._off_diagonal_row_sums()
         self._nnz = self._implied_nnz()
+        self._device_cache: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -237,17 +507,31 @@ class KroneckerGenerator:
         The honest counterpart of :func:`assembled_csr_bytes`: what the
         matrix-free representation costs instead of the assembled CSR
         (iteration vectors are excluded on both sides -- every backend
-        needs those).
+        needs those).  Arrays shared between the raw terms and the
+        pre-combined scale groups are counted once.
         """
-        total = self._diagonal.nbytes
-        for term, factors in zip(self._terms, self._prepared):
+        seen: set[int] = set()
+        total = 0
+
+        def add(array) -> None:
+            nonlocal total
+            if array is not None and id(array) not in seen:
+                seen.add(id(array))
+                total += array.nbytes
+
+        add(self._diagonal)
+        for term in self._terms:
             for scale in term.scales:
-                total += scale.nbytes
+                add(scale)
+        for scale_groups, factors, _ in self._fused_terms:
+            for scale in scale_groups:
+                add(scale)
             for prepared in factors:
                 matrix = prepared.matrix
-                total += matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
-                if prepared.dense is not None:
-                    total += prepared.dense.nbytes
+                add(matrix.data)
+                add(matrix.indices)
+                add(matrix.indptr)
+                add(prepared.dense)
         return total
 
     # ------------------------------------------------------------------
@@ -291,28 +575,43 @@ class KroneckerGenerator:
         return int(round(entries)) + int(np.count_nonzero(self._diagonal))
 
     # ------------------------------------------------------------------
-    def apply(self, block) -> np.ndarray:
-        """Evaluate ``block @ Q`` for a vector ``(n,)`` or a block ``(K, n)``."""
-        array = np.asarray(block, dtype=float)
+    def _device_state(self, xp) -> tuple:
+        """``(diagonal, fused_terms)`` in namespace *xp* (cached per device).
+
+        numpy gets the host arrays directly; other namespaces get device
+        copies of the diagonal and every scale group, converted once.
+        Factor operands convert lazily inside :class:`_PreparedFactor`.
+        """
+        if xp is np:
+            return self._diagonal, self._fused_terms
+        key = xp.__name__
+        state = self._device_cache.get(key)
+        if state is None:
+            state = _device_terms(xp, self._diagonal, self._fused_terms)
+            self._device_cache[key] = state
+        return state
+
+    def apply(self, block):
+        """Evaluate ``block @ Q`` for a vector ``(n,)`` or a block ``(K, n)``.
+
+        The result lives in the namespace of *block*: numpy blocks stay on
+        the host, cupy blocks stay on the device.
+        """
+        xp = array_namespace(block)
+        array = np.asarray(block, dtype=float) if xp is np else block
         squeeze = array.ndim == 1
-        rows = np.atleast_2d(array)
-        if rows.shape[1] != self._n:
+        rows = array[None, :] if squeeze else array
+        if rows.ndim != 2 or rows.shape[1] != self._n:
             raise ValueError(
-                f"operand has {rows.shape[1]} columns but the generator has "
+                f"operand has {rows.shape[-1]} columns but the generator has "
                 f"{self._n} states"
             )
-        out = rows * self._diagonal
-        batch_dims = (rows.shape[0],) + self._dims
-        for term, factors in zip(self._terms, self._prepared):
-            tensor = rows.reshape(batch_dims)
-            for scale in term.scales:
-                tensor = tensor * scale[None]
-            for factor in factors:
-                tensor = factor.apply(tensor)
-            out += tensor.reshape(rows.shape)
+        rows = xp.ascontiguousarray(rows)
+        diagonal, terms = self._device_state(xp)
+        out = _apply_terms(rows, self._dims, diagonal, terms, xp)
         return out[0] if squeeze else out
 
-    def __rmatmul__(self, other) -> np.ndarray:
+    def __rmatmul__(self, other):
         return self.apply(other)
 
     # ------------------------------------------------------------------
@@ -369,20 +668,49 @@ def assembled_csr_bytes(nnz: int, n_states: int) -> int:
 class UniformizedOperator:
     """The uniformised DTMC map ``P = I + Q / rate`` over a generator operator.
 
-    Only the application ``v @ P = v + (v @ Q) / rate`` is provided --
-    exactly what the uniformisation inner loops need.  ``P`` is
-    row-stochastic whenever *rate* dominates every exit rate of ``Q``,
-    which :class:`~repro.markov.uniformization.TransientPropagator`
-    guarantees when it constructs this wrapper.
+    Only the application ``v @ P`` is provided -- exactly what the
+    uniformisation inner loops need.  ``P`` is row-stochastic whenever
+    *rate* dominates every exit rate of ``Q``, which
+    :class:`~repro.markov.uniformization.TransientPropagator` guarantees
+    when it constructs this wrapper.
+
+    Two evaluation forms:
+
+    * ``fused=True`` (the default) pre-folds the uniformisation into the
+      operator data: the diagonal becomes ``1 + diag(Q)/rate`` and each
+      term's ``1/rate`` is multiplied into one *small* factor (or the
+      scalar gain of a factorless term), so ``v @ P`` is a single
+      :func:`_apply_terms` sweep -- no ``v + (v Q)/rate`` post-pass, no
+      extra full-space temporaries.
+    * ``fused=False`` keeps the literal two-step form
+      ``v + (v @ Q) / rate`` on top of :meth:`KroneckerGenerator.apply`;
+      it is retained as the cross-check baseline the fused path is
+      benchmarked and tested against.
+
+    Both forms agree to machine precision (the folding only reassociates
+    scalar multiplications).
     """
 
     __array_ufunc__ = None
 
-    def __init__(self, generator: KroneckerGenerator, rate: float):
+    def __init__(self, generator: KroneckerGenerator, rate: float, *, fused: bool = True):
         if rate <= 0.0:
             raise GeneratorError(f"uniformisation rate must be positive, got {rate}")
         self._generator = generator
         self._rate = float(rate)
+        self._fused = bool(fused)
+        self._device_cache: dict[str, tuple] = {}
+        if self._fused:
+            gain = 1.0 / self._rate
+            self._diag_p = 1.0 + generator.diagonal() * gain
+            folded = []
+            for scale_groups, factors, term_gain in generator._fused_terms:
+                if factors:
+                    factors = factors[:-1] + (factors[-1].scaled(gain),)
+                    folded.append((scale_groups, factors, 1.0))
+                else:
+                    folded.append((scale_groups, factors, term_gain * gain))
+            self._fused_terms = tuple(folded)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -394,10 +722,43 @@ class UniformizedOperator:
         """The uniformisation rate."""
         return self._rate
 
-    def apply(self, block) -> np.ndarray:
-        """Evaluate ``block @ P`` for a vector ``(n,)`` or a block ``(K, n)``."""
-        array = np.asarray(block, dtype=float)
-        return array + self._generator.apply(array) / self._rate
+    @property
+    def fused(self) -> bool:
+        """Whether the folded single-sweep evaluation form is active."""
+        return self._fused
 
-    def __rmatmul__(self, other) -> np.ndarray:
+    @property
+    def generator(self) -> KroneckerGenerator:
+        """The wrapped matrix-free generator."""
+        return self._generator
+
+    def _device_state(self, xp) -> tuple:
+        if xp is np:
+            return self._diag_p, self._fused_terms
+        key = xp.__name__
+        state = self._device_cache.get(key)
+        if state is None:
+            state = _device_terms(xp, self._diag_p, self._fused_terms)
+            self._device_cache[key] = state
+        return state
+
+    def apply(self, block):
+        """Evaluate ``block @ P`` for a vector ``(n,)`` or a block ``(K, n)``."""
+        xp = array_namespace(block)
+        array = np.asarray(block, dtype=float) if xp is np else block
+        if not self._fused:
+            return array + self._generator.apply(array) / self._rate
+        squeeze = array.ndim == 1
+        rows = array[None, :] if squeeze else array
+        if rows.ndim != 2 or rows.shape[1] != self.shape[0]:
+            raise ValueError(
+                f"operand has {rows.shape[-1]} columns but the operator has "
+                f"{self.shape[0]} states"
+            )
+        rows = xp.ascontiguousarray(rows)
+        diagonal, terms = self._device_state(xp)
+        out = _apply_terms(rows, self._generator.dims, diagonal, terms, xp)
+        return out[0] if squeeze else out
+
+    def __rmatmul__(self, other):
         return self.apply(other)

@@ -33,8 +33,11 @@ import numpy as np
 __all__ = [
     "PoissonWeights",
     "cached_poisson_weights",
+    "clear_poisson_caches",
     "fox_glynn",
+    "poisson_cache_diagnostics",
     "poisson_weights",
+    "shared_poisson_windows",
     "truncation_points",
 ]
 
@@ -183,8 +186,127 @@ def cached_poisson_weights(rate: float, epsilon: float = 1e-12) -> PoissonWeight
     The cache size bounds the retained memory: windows grow like
     ``O(sqrt(q t))`` doubles, so 512 entries stay within a few tens of MB
     even for the million-state chains.  Use
-    ``cached_poisson_weights.cache_clear()`` to release the memory
-    eagerly and ``cached_poisson_weights.cache_info()`` for hit/miss
-    diagnostics.
+    :func:`clear_poisson_caches` to release the memory eagerly and
+    :func:`poisson_cache_diagnostics` for hit/miss diagnostics.
     """
     return fox_glynn(float(rate), float(epsilon))
+
+
+def _zero_rate_window() -> PoissonWeights:
+    weights = np.array([1.0])
+    weights.setflags(write=False)
+    return PoissonWeights(left=0, right=0, weights=weights, rate=0.0)
+
+
+@lru_cache(maxsize=32)
+def shared_poisson_windows(
+    rates: tuple[float, ...], epsilon: float = 1e-12
+) -> tuple[PoissonWeights, ...]:
+    """Poisson windows for a whole time grid from ONE shared table.
+
+    The single-pass transient sweep needs one truncated Poisson window per
+    requested time point, all at the same *epsilon*.  Computing each with
+    :func:`fox_glynn` rematerialises the weight recursion per window --
+    ``O(sum_j sqrt(r_j))`` sequential Python steps.  But at equal epsilon
+    the windows are *nested*: every window is a slice of the widest one,
+    reweighted by the rate ratio.  In log space
+
+    .. math::
+
+        \\log w_n(r_j) = \\log w_n(r_T) + n \\log(r_j / r_T) + (r_T - r_j),
+
+    and the constant drops out under the per-window normalisation.  So one
+    vectorised table ``n log r_T - log n!`` over the widest window (a
+    single ``gammaln`` call) feeds every window: slice its truncation
+    range, tilt by ``n (log r_j - log r_T)``, exponentiate around the
+    maximum and normalise.  Trimming then follows the same per-term
+    threshold rule as :func:`fox_glynn`, so window sizes (and hence
+    product counts) match the per-window construction.
+
+    The result is memoised on the full ``(rates, epsilon)`` tuple: scenario
+    sweeps evaluate the same deduplicated time grid against the same chain
+    over and over, and then the whole table costs one dictionary lookup.
+    Weight arrays are read-only, like those of
+    :func:`cached_poisson_weights`.
+
+    Weights agree with :func:`fox_glynn` to the accuracy of the ``gammaln``
+    tilt -- ~1e-12 relative for the moderate rates of the battery chains
+    -- not bit-exactly; the neglected-mass guarantee (total mass outside
+    the window below *epsilon*) is inherited from the shared truncation
+    points.
+    """
+    from scipy.special import gammaln
+
+    eps = float(epsilon)
+    cleaned = tuple(float(rate) for rate in rates)
+    if any(rate < 0.0 for rate in cleaned):
+        raise ValueError(f"Poisson rates must be non-negative, got {cleaned}")
+    max_rate = max(cleaned, default=0.0)
+    if max_rate == 0.0:
+        return tuple(_zero_rate_window() for _ in cleaned)
+
+    _, widest_right = truncation_points(max_rate, eps)
+    ns = np.arange(widest_right + 1, dtype=float)
+    log_max_rate = math.log(max_rate)
+    # Base table for the widest window; every other window is a tilted
+    # slice of it (the -r and the shared normalisation are dropped).
+    base = ns * log_max_rate - gammaln(ns + 1.0)
+
+    windows: list[PoissonWeights] = []
+    for rate in cleaned:
+        if rate == 0.0:
+            windows.append(_zero_rate_window())
+            continue
+        left, right = truncation_points(rate, eps)
+        # The truncation points are monotone in the rate, so every window
+        # nests inside the widest one; the guard is belt-and-braces.
+        right = min(right, widest_right)
+        tilt = math.log(rate) - log_max_rate
+        log_weights = base[left : right + 1] + ns[left : right + 1] * tilt
+        log_weights = log_weights - log_weights.max()
+        weights = np.exp(log_weights)
+        weights /= float(np.sum(weights))
+        # Same trim rule as fox_glynn: drop leading/trailing terms below
+        # the per-term threshold, then renormalise.
+        threshold = eps / (2.0 * (right - left + 1))
+        nonzero = np.nonzero(weights > threshold)[0]
+        if nonzero.size > 0:
+            first, last = int(nonzero[0]), int(nonzero[-1])
+            weights = weights[first : last + 1]
+            left += first
+            right = left + weights.size - 1
+            weights = weights / float(np.sum(weights))
+        weights.setflags(write=False)
+        windows.append(
+            PoissonWeights(left=left, right=right, weights=weights, rate=rate)
+        )
+    return tuple(windows)
+
+
+def poisson_cache_diagnostics() -> dict:
+    """Hit/miss/size counters of the Poisson weight caches.
+
+    One flat dict combining the per-window memo
+    (:func:`cached_poisson_weights`, used by the incremental segment
+    chain) and the shared-table memo (:func:`shared_poisson_windows`,
+    used by the single-pass sweep).  Merged into the transient
+    diagnostics of the engine's solver results.
+    """
+    window = cached_poisson_weights.cache_info()
+    shared = shared_poisson_windows.cache_info()
+    return {
+        "poisson_window_cache_hits": int(window.hits),
+        "poisson_window_cache_misses": int(window.misses),
+        "poisson_window_cache_size": int(window.currsize),
+        "poisson_window_cache_maxsize": int(window.maxsize),
+        "poisson_shared_cache_hits": int(shared.hits),
+        "poisson_shared_cache_misses": int(shared.misses),
+        "poisson_shared_cache_size": int(shared.currsize),
+        "poisson_shared_cache_maxsize": int(shared.maxsize),
+    }
+
+
+def clear_poisson_caches() -> None:
+    """Release every memoised Poisson window (and reset the counters)."""
+    cached_poisson_weights.cache_clear()
+    shared_poisson_windows.cache_clear()

@@ -59,16 +59,24 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.markov import kernels
 from repro.markov.generator import as_csr, validate_generator
-from repro.markov.kronecker import KroneckerGenerator, UniformizedOperator
+from repro.markov.kernels import KERNEL_CHOICES
+from repro.markov.kronecker import (
+    KroneckerGenerator,
+    UniformizedOperator,
+    to_host,
+)
 from repro.markov.poisson import (
     PoissonWeights,
     cached_poisson_weights,
+    shared_poisson_windows,
     truncation_points,
 )
 
 __all__ = [
     "BatchTransientResult",
+    "KERNEL_CHOICES",
     "TransientPropagator",
     "UniformizationResult",
     "uniformization_rate",
@@ -105,6 +113,10 @@ class UniformizationResult:
         Upper bound on the neglected Poisson mass, per time point.
     mode:
         Evaluation strategy (``"incremental"`` or ``"single-pass"``).
+    kernel:
+        The compute kernel that actually ran (``"scipy"`` or
+        ``"compiled"``; an ``"auto"`` or degraded request reports the
+        resolved implementation).
     iterations_saved:
         Vector--matrix products avoided by steady-state detection.
     steady_state_time:
@@ -120,6 +132,7 @@ class UniformizationResult:
     iterations: int
     truncation_error: np.ndarray
     mode: str = "incremental"
+    kernel: str = "scipy"
     iterations_saved: int = 0
     steady_state_time: float | None = None
     steady_state_iteration: int | None = None
@@ -155,6 +168,9 @@ class BatchTransientResult:
         to each time point.
     mode:
         Evaluation strategy (``"incremental"`` or ``"single-pass"``).
+    kernel:
+        The compute kernel that actually ran (``"scipy"`` or
+        ``"compiled"``).
     n_segments:
         Number of distinct propagation segments (deduplicated time points).
     iterations_saved:
@@ -173,6 +189,7 @@ class BatchTransientResult:
     iterations: int
     truncation_error: np.ndarray
     mode: str = "incremental"
+    kernel: str = "scipy"
     n_segments: int = 0
     iterations_saved: int = 0
     steady_state_time: float | None = None
@@ -215,9 +232,31 @@ class TransientPropagator:
     validate:
         When ``True`` (default) the generator is validated once here, and
         initial distributions are checked in every solve call.
+    kernel:
+        Compute kernel for the inner product/accumulate loops:
+        ``"scipy"`` (the reference path), ``"compiled"`` (numba-jitted
+        CSR routines; degrades gracefully to ``"scipy"`` when numba is
+        missing or the chain is matrix-free) or ``"auto"`` (the default:
+        compiled exactly when it is applicable).  See
+        :mod:`repro.markov.kernels`.
+    xp:
+        Optional array namespace (e.g. the ``cupy`` module) for
+        matrix-free chains: iteration blocks and result accumulators then
+        live on that namespace's device and the Kronecker contractions
+        run there, with one host transfer at the end of each solve.  The
+        default (``None``) is plain numpy; assembled CSR chains are
+        CPU-only and reject a non-numpy namespace.
     """
 
-    def __init__(self, generator, *, rate: float | None = None, validate: bool = True):
+    def __init__(
+        self,
+        generator,
+        *,
+        rate: float | None = None,
+        validate: bool = True,
+        kernel: str = "auto",
+        xp=None,
+    ):
         self._matrix_free = isinstance(generator, KroneckerGenerator)
         if self._matrix_free:
             # Matrix-free chains stay operators end-to-end: validation is
@@ -255,6 +294,15 @@ class TransientPropagator:
             self._probability_matrix = (
                 sp.identity(n, format="csr") + matrix / self._rate
             ).tocsr()
+        self._kernel = kernels.build_kernel(
+            self._probability_matrix, kernel, matrix_free=self._matrix_free
+        )
+        if xp is not None and xp is not np and not self._matrix_free:
+            raise ValueError(
+                "assembled CSR chains are CPU-only; a non-numpy array "
+                "namespace requires a matrix-free (Kronecker) chain"
+            )
+        self._xp = np if xp is None else xp
 
     # ------------------------------------------------------------------
     @property
@@ -283,6 +331,16 @@ class TransientPropagator:
         return self._rate
 
     @property
+    def kernel(self) -> str:
+        """The compute kernel that actually runs (``"scipy"``/``"compiled"``).
+
+        Reports the *resolved* implementation: an ``"auto"`` or
+        ``"compiled"`` request that fell back (matrix-free chain, numba
+        missing) reads ``"scipy"`` here.
+        """
+        return self._kernel.name
+
+    @property
     def n_states(self) -> int:
         """Number of states of the chain."""
         return int(self._generator.shape[0])
@@ -304,15 +362,17 @@ class TransientPropagator:
 
     @staticmethod
     def _windows(rate: float, times: np.ndarray, epsilon: float) -> list[PoissonWeights]:
-        return [cached_poisson_weights(rate * float(t), float(epsilon)) for t in times]
+        # One shared, tilted weight table for the whole grid instead of a
+        # per-window Fox--Glynn recursion; see shared_poisson_windows.
+        rates = tuple(rate * float(t) for t in times)
+        return list(shared_poisson_windows(rates, float(epsilon)))
 
-    @staticmethod
-    def _allocate(n_batch: int, n_times: int, n_states: int, proj) -> np.ndarray:
+    def _allocate(self, n_batch: int, n_times: int, n_states: int, proj) -> np.ndarray:
         if proj is None:
-            return np.zeros((n_batch, n_times, n_states))
+            return self._xp.zeros((n_batch, n_times, n_states))
         if proj.ndim == 1:
-            return np.zeros((n_batch, n_times))
-        return np.zeros((n_batch, n_times, proj.shape[1]))
+            return self._xp.zeros((n_batch, n_times))
+        return self._xp.zeros((n_batch, n_times, proj.shape[1]))
 
     @staticmethod
     def _store(results: np.ndarray, index, block: np.ndarray, proj) -> None:
@@ -346,6 +406,7 @@ class TransientPropagator:
             iterations=batch.iterations,
             truncation_error=batch.truncation_error,
             mode=batch.mode,
+            kernel=batch.kernel,
             iterations_saved=batch.iterations_saved,
             steady_state_time=batch.steady_state_time,
             steady_state_iteration=batch.steady_state_iteration,
@@ -429,6 +490,14 @@ class TransientPropagator:
                     f"{self.n_states}"
                 )
 
+        if self._xp is not np:
+            # Device solve: the block and the per-time accumulators live in
+            # the caller-chosen namespace; results come back to the host in
+            # one transfer below.
+            alphas = self._xp.asarray(alphas)
+            if proj is not None:
+                proj = self._xp.asarray(proj)
+
         # Deduplicate and sort once: repeated time points share one Poisson
         # window, and the incremental chain requires ascending segments.
         unique_times, inverse = np.unique(times_array, return_inverse=True)
@@ -442,11 +511,12 @@ class TransientPropagator:
 
         return BatchTransientResult(
             times=times_array,
-            values=solved.values[:, inverse],
+            values=to_host(solved.values[:, inverse]),
             rate=self._rate,
             iterations=solved.iterations,
             truncation_error=solved.truncation_error[inverse],
             mode=mode,
+            kernel=self._kernel.name,
             n_segments=int(unique_times.size),
             iterations_saved=solved.iterations_saved,
             steady_state_time=solved.steady_state_time,
@@ -476,7 +546,7 @@ class TransientPropagator:
         weight_table = np.concatenate([window.weights for window in windows])
 
         results = self._allocate(n_batch, unique_times.size, self.n_states, proj)
-        matrix = self._probability_matrix
+        spmm = self._kernel.spmm
         block = alphas.copy()
         for n in range(max_right + 1):
             # Projection products (and window updates) are skipped entirely
@@ -494,7 +564,7 @@ class TransientPropagator:
                         )
             if n == max_right:
                 break
-            block = block @ matrix
+            block = spmm(block)
             if callback is not None and n % 1000 == 0:
                 callback(n, max_right)
 
@@ -540,7 +610,6 @@ class TransientPropagator:
 
         results = self._allocate(n_batch, n_times, self.n_states, proj)
         truncation_error = np.zeros(n_times)
-        matrix = self._probability_matrix
 
         current = alphas.copy()
         converged = False
@@ -583,51 +652,43 @@ class TransientPropagator:
                 tol = detection_budget / max(1.0, float(products_remaining))
             else:
                 tol = fixed_tol
-            accumulated = np.zeros_like(current)
-            remaining_mass = 1.0
-            v = current
-            for n in range(window.right + 1):
-                if n >= window.left:
-                    weight = window.weights[n - window.left]
-                    accumulated += weight * v
-                    remaining_mass -= weight
-                if n == window.right:
-                    break
-                v_next = v @ matrix
-                performed += 1
-                if callback is not None and (performed - 1) % 1000 == 0:
-                    callback(performed - 1, estimated_total)
-                if tol > 0.0:
-                    step_change = float(np.max(np.abs(v_next - v).sum(axis=1)))
-                    v = v_next
-                    if step_change < tol:
-                        if n == 0:
-                            # The segment's *starting* vector is already
-                            # invariant under P, so the transient solution
-                            # itself has reached steady state (for the
-                            # battery chains: the absorbing empty states
-                            # have soaked up all the mass).  This segment
-                            # and every later one collapse to a copy.
-                            accumulated = current
-                            saved += window.right - 1
-                            converged = True
-                            steady_state_time = float(unique_times[j])
-                            steady_state_iteration = performed
-                        else:
-                            # The power iterates stopped changing: every
-                            # remaining term of this window evaluates to v,
-                            # so the window tail collapses to its remaining
-                            # Poisson mass.  (This does *not* imply pi(t)
-                            # is stationary -- later segments still run,
-                            # and the global test above decides when the
-                            # whole chain has converged.)
-                            accumulated += max(0.0, remaining_mass) * v
-                            saved += window.right - (n + 1)
-                        break
-                else:
-                    v = v_next
+            # The segment's products, weighted accumulation and
+            # steady-state change tracking all run inside the selected
+            # kernel (one fused jitted call on the compiled path).
+            progress = None
+            if callback is not None:
+                base = performed
 
-            current = accumulated
+                def progress(in_segment: int, _base=base) -> None:
+                    count = _base + in_segment
+                    if (count - 1) % 1000 == 0:
+                        callback(count - 1, estimated_total)
+
+            segment = self._kernel.run_segment(
+                current, window.weights, window.left, window.right, tol, progress
+            )
+            performed += segment.performed
+            if segment.status == kernels.SEGMENT_START_INVARIANT:
+                # The segment's *starting* vector is already invariant
+                # under P, so the transient solution itself has reached
+                # steady state (for the battery chains: the absorbing
+                # empty states have soaked up all the mass).  This
+                # segment and every later one collapse to a copy --
+                # `current` stays as it is.
+                saved += window.right - 1
+                converged = True
+                steady_state_time = float(unique_times[j])
+                steady_state_iteration = performed
+            else:
+                if segment.status == kernels.SEGMENT_TAIL_COLLAPSED:
+                    # The power iterates stopped changing mid-window: the
+                    # kernel collapsed the window tail onto its remaining
+                    # Poisson mass.  (This does *not* imply pi(t) is
+                    # stationary -- later segments still run, and the
+                    # start-invariant test above decides when the whole
+                    # chain has converged.)
+                    saved += window.right - (segment.break_index + 1)
+                current = segment.accumulated
             error_bound += max(0.0, 1.0 - window.total)
             self._store(results, j, current, proj)
             truncation_error[j] = error_bound
@@ -665,6 +726,7 @@ def uniformized_transient(
     callback=None,
     mode: str = "incremental",
     steady_state_tol: float | None = None,
+    kernel: str = "auto",
 ) -> UniformizationResult:
     """Compute transient state distributions at one or more time points.
 
@@ -674,7 +736,9 @@ def uniformized_transient(
     :class:`TransientPropagator` once instead, which skips the re-validation
     and re-uniformisation of the generator on every call.
     """
-    propagator = TransientPropagator(generator, rate=rate, validate=validate)
+    propagator = TransientPropagator(
+        generator, rate=rate, validate=validate, kernel=kernel
+    )
     return propagator.transient(
         initial_distribution,
         times,

@@ -1,0 +1,396 @@
+"""Tests of the pluggable uniformisation compute kernels.
+
+Covers :mod:`repro.markov.kernels` -- the knob resolution (including the
+graceful fallback when numba is not importable), the reference segment
+loop's steady-state detection contract, and hypothesis property tests
+asserting that every kernel choice produces identical transient
+distributions on random chains, both for assembled CSR matrices and for
+matrix-free product-chain operators.  The numba-specific assertions are
+skip-gated so the file passes (and still checks the fallback pipeline)
+in environments without the ``[speed]`` extra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.parameters import KiBaMParameters
+from repro.engine import solve_lifetime
+from repro.engine.batch import ScenarioBatch, chain_merge_key
+from repro.engine.problem import LifetimeProblem
+from repro.markov.kernels import (
+    KERNEL_CHOICES,
+    SEGMENT_COMPLETED,
+    SEGMENT_START_INVARIANT,
+    SEGMENT_TAIL_COLLAPSED,
+    CompiledKernel,
+    ScipyKernel,
+    _set_numba_probe,
+    build_kernel,
+    numba_available,
+    resolve_kernel,
+    segment_python,
+)
+from repro.markov.kronecker import UniformizedOperator
+from repro.markov.poisson import (
+    clear_poisson_caches,
+    fox_glynn,
+    poisson_cache_diagnostics,
+    shared_poisson_windows,
+)
+from repro.markov.uniformization import TransientPropagator
+from repro.multibattery import MultiBatterySystem
+from repro.multibattery.policies import get_policy
+from repro.workload.base import WorkloadModel
+
+
+@pytest.fixture
+def probe():
+    """Force the numba probe for a test, restoring the real probe after."""
+
+    yield _set_numba_probe
+    _set_numba_probe(None)
+
+
+@st.composite
+def random_generators(draw):
+    """Random irreducible-ish CTMC generators with 2--5 states."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    rates = draw(
+        st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=4.0), min_size=n, max_size=n),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    matrix = np.asarray(rates, dtype=float)
+    np.fill_diagonal(matrix, 0.0)
+    # Guarantee a cycle so the chain mixes.
+    for i in range(n):
+        matrix[i, (i + 1) % n] += 0.4
+    np.fill_diagonal(matrix, -matrix.sum(axis=1))
+    return matrix
+
+
+def two_battery_chains():
+    """One small bank discretised both assembled and matrix-free."""
+    workload = WorkloadModel(
+        state_names=("busy", "idle"),
+        generator=np.array([[-0.02, 0.02], [0.02, -0.02]]),
+        currents=np.array([0.5, 0.05]),
+        initial_distribution=np.array([1.0, 0.0]),
+    )
+    battery = KiBaMParameters(capacity=60.0, c=0.625, k=1e-3)
+    system = MultiBatterySystem(
+        workload=workload,
+        batteries=(battery, battery),
+        policy=get_policy("static-split"),
+        failures_to_die=1,
+    )
+    delta = battery.available_capacity / 4.0
+    return system.discretize(delta, backend="assembled"), system.discretize(
+        delta, backend="matrix-free"
+    )
+
+
+# ----------------------------------------------------------------------
+# Knob resolution and graceful degradation.
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_unknown_kernel_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("turbo", matrix_free=False)
+
+    def test_matrix_free_always_resolves_to_scipy(self):
+        for choice in KERNEL_CHOICES:
+            assert resolve_kernel(choice, matrix_free=True) == "scipy"
+
+    def test_scipy_is_never_upgraded(self, probe):
+        probe(True)
+        assert resolve_kernel("scipy", matrix_free=False) == "scipy"
+
+    def test_auto_and_compiled_follow_the_probe(self, probe):
+        probe(False)
+        assert resolve_kernel("auto", matrix_free=False) == "scipy"
+        assert resolve_kernel("compiled", matrix_free=False) == "scipy"
+        probe(True)
+        assert resolve_kernel("auto", matrix_free=False) == "compiled"
+        assert resolve_kernel("compiled", matrix_free=False) == "compiled"
+
+    def test_probe_reflects_reality(self):
+        assert isinstance(numba_available(), bool)
+        expected = "compiled" if numba_available() else "scipy"
+        assert resolve_kernel("auto", matrix_free=False) == expected
+
+    def test_build_kernel_fallback_without_numba(self, probe):
+        probe(False)
+        matrix = sp.identity(3, format="csr")
+        built = build_kernel(matrix, "compiled")
+        assert type(built) is ScipyKernel
+        assert built.name == "scipy"
+
+    def test_compiled_kernel_constructor_degrades(self, probe):
+        probe(False)
+        matrix = sp.random(6, 6, density=0.5, format="csr", random_state=7)
+        kernel = CompiledKernel(matrix)
+        assert kernel.name == "scipy"
+        block = np.arange(12.0).reshape(2, 6)
+        np.testing.assert_allclose(kernel.spmm(block), block @ matrix)
+
+
+# ----------------------------------------------------------------------
+# The reference segment loop's detection contract.
+# ----------------------------------------------------------------------
+class TestSegmentLoop:
+    def _mixture(self, matrix, v, weights, left, right):
+        expected = np.zeros_like(v)
+        power = v.copy()
+        for n in range(right + 1):
+            if n >= left:
+                expected += weights[n - left] * power
+            power = power @ matrix
+        return expected
+
+    def test_completed_segment_is_the_poisson_mixture(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.random((4, 4))
+        matrix /= matrix.sum(axis=1, keepdims=True)
+        v = rng.random((2, 4))
+        weights = np.array([0.1, 0.2, 0.3, 0.25, 0.15])
+        result = segment_python(lambda b: b @ matrix, v, weights, 2, 6, 0.0)
+        assert result.status == SEGMENT_COMPLETED
+        assert result.performed == 6
+        assert result.break_index == 6
+        np.testing.assert_allclose(
+            result.accumulated, self._mixture(matrix, v, weights, 2, 6), atol=1e-14
+        )
+
+    def test_invariant_start_is_flagged_without_accumulating(self):
+        matrix = np.eye(3)
+        v = np.array([[0.2, 0.3, 0.5]])
+        weights = np.full(5, 0.2)
+        result = segment_python(lambda b: b @ matrix, v, weights, 0, 4, 1e-9)
+        assert result.status == SEGMENT_START_INVARIANT
+        assert result.break_index == 0
+        assert result.performed == 1
+
+    def test_tail_collapse_matches_the_full_sweep(self):
+        # Every state jumps to state 0 in one step, so the power iterates
+        # are constant from n = 1 on: collapsing the tail onto the
+        # remaining Poisson mass is exact.
+        matrix = np.zeros((3, 3))
+        matrix[:, 0] = 1.0
+        v = np.array([[0.1, 0.4, 0.5]])
+        weights = np.full(8, 0.125)
+        lazy = segment_python(lambda b: b @ matrix, v, weights, 0, 7, 1e-9)
+        full = segment_python(lambda b: b @ matrix, v, weights, 0, 7, 0.0)
+        assert lazy.status == SEGMENT_TAIL_COLLAPSED
+        assert lazy.performed < full.performed
+        np.testing.assert_allclose(lazy.accumulated, full.accumulated, atol=1e-14)
+
+    def test_progress_callback_counts_products(self):
+        matrix = np.eye(2) * 0.5 + 0.25
+        counts = []
+        segment_python(
+            lambda b: b @ matrix,
+            np.ones((1, 2)) / 2.0,
+            np.full(4, 0.25),
+            0,
+            3,
+            0.0,
+            counts.append,
+        )
+        assert counts == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# Every kernel choice computes identical transient laws.
+# ----------------------------------------------------------------------
+class TestKernelEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        generator=random_generators(),
+        horizon=st.floats(min_value=0.5, max_value=25.0),
+    )
+    def test_kernels_agree_on_random_chains(self, generator, horizon):
+        alpha = np.zeros(generator.shape[0])
+        alpha[0] = 1.0
+        times = np.linspace(horizon / 3.0, horizon, 3)
+        reference = None
+        for choice in KERNEL_CHOICES:
+            propagator = TransientPropagator(generator, kernel=choice)
+            result = propagator.transient(alpha, times)
+            assert propagator.kernel in ("scipy", "compiled")
+            if reference is None:
+                reference = result.distributions
+            else:
+                np.testing.assert_allclose(
+                    result.distributions, reference, atol=1e-12
+                )
+
+    @settings(max_examples=15, deadline=None)
+    @given(generator=random_generators())
+    def test_modes_agree_per_kernel(self, generator):
+        alpha = np.zeros(generator.shape[0])
+        alpha[0] = 1.0
+        times = np.array([1.0, 4.0, 16.0])
+        for choice in ("scipy", "compiled"):
+            propagator = TransientPropagator(generator, kernel=choice)
+            incremental = propagator.transient(alpha, times, mode="incremental")
+            single = propagator.transient(alpha, times, mode="single-pass")
+            np.testing.assert_allclose(
+                incremental.distributions, single.distributions, atol=1e-10
+            )
+
+    def test_propagator_reports_the_resolved_kernel(self, probe):
+        generator = np.array([[-1.0, 1.0], [2.0, -2.0]])
+        probe(False)
+        assert TransientPropagator(generator, kernel="compiled").kernel == "scipy"
+        assert TransientPropagator(generator, kernel="auto").kernel == "scipy"
+        assert TransientPropagator(generator, kernel="scipy").kernel == "scipy"
+
+    @pytest.mark.skipif(not numba_available(), reason="numba not installed")
+    def test_compiled_kernel_actually_compiles(self):
+        generator = np.array(
+            [[-1.0, 0.7, 0.3], [0.5, -1.5, 1.0], [0.2, 0.8, -1.0]]
+        )
+        alpha = np.array([1.0, 0.0, 0.0])
+        times = np.array([0.5, 2.0, 8.0])
+        compiled = TransientPropagator(generator, kernel="compiled")
+        assert compiled.kernel == "compiled"
+        scipy_side = TransientPropagator(generator, kernel="scipy")
+        np.testing.assert_allclose(
+            compiled.transient(alpha, times).distributions,
+            scipy_side.transient(alpha, times).distributions,
+            atol=1e-12,
+        )
+
+
+# ----------------------------------------------------------------------
+# Matrix-free operators: forced scipy kernel, fused uniformised apply.
+# ----------------------------------------------------------------------
+class TestMatrixFreeKernels:
+    def test_matrix_free_chain_forces_scipy_and_matches_assembled(self):
+        assembled, matrix_free = two_battery_chains()
+        alpha = np.asarray(assembled.initial_distribution, dtype=float)
+        times = np.array([200.0, 800.0, 2000.0])
+        reference = TransientPropagator(
+            assembled.generator, kernel="scipy"
+        ).transient(alpha, times)
+        operator_side = TransientPropagator(
+            matrix_free.generator, kernel="compiled"
+        )
+        assert operator_side.kernel == "scipy"
+        np.testing.assert_allclose(
+            operator_side.transient(alpha, times).distributions,
+            reference.distributions,
+            atol=1e-10,
+        )
+
+    def test_fused_operator_matches_unfused_and_assembled(self):
+        assembled, matrix_free = two_battery_chains()
+        generator = matrix_free.generator
+        rate = 1.001 * float(np.max(-assembled.generator.diagonal()))
+        fused = UniformizedOperator(generator, rate, fused=True)
+        unfused = UniformizedOperator(generator, rate, fused=False)
+        assert fused.fused and not unfused.fused
+        rng = np.random.default_rng(11)
+        block = rng.random((3, generator.shape[0]))
+        explicit = block + (block @ assembled.generator) / rate
+        np.testing.assert_allclose(block @ fused, explicit, atol=1e-12)
+        np.testing.assert_allclose(block @ unfused, explicit, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# The shared Poisson window table.
+# ----------------------------------------------------------------------
+class TestSharedPoissonWindows:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rates=st.lists(
+            st.floats(min_value=0.0, max_value=500.0), min_size=1, max_size=6
+        )
+    )
+    def test_shared_windows_match_fox_glynn(self, rates):
+        windows = shared_poisson_windows(tuple(rates), 1e-12)
+        assert len(windows) == len(rates)
+        for rate, window in zip(rates, windows):
+            direct = fox_glynn(rate, 1e-12)
+            assert (window.left, window.right) == (direct.left, direct.right)
+            np.testing.assert_allclose(window.weights, direct.weights, atol=1e-12)
+            assert window.total == pytest.approx(direct.total, abs=1e-12)
+
+    def test_negative_rates_are_rejected(self):
+        with pytest.raises(ValueError):
+            shared_poisson_windows((1.0, -0.5))
+
+    def test_cache_diagnostics_count_hits_and_misses(self):
+        clear_poisson_caches()
+        before = poisson_cache_diagnostics()
+        assert before["poisson_shared_cache_hits"] == 0
+        shared_poisson_windows((3.0, 7.0))
+        shared_poisson_windows((3.0, 7.0))
+        after = poisson_cache_diagnostics()
+        assert after["poisson_shared_cache_misses"] == 1
+        assert after["poisson_shared_cache_hits"] == 1
+        assert after["poisson_shared_cache_maxsize"] is not None
+        assert after["poisson_window_cache_maxsize"] is not None
+
+
+# ----------------------------------------------------------------------
+# Engine threading of the kernel knob.
+# ----------------------------------------------------------------------
+class TestEngineKernelKnob:
+    def _problem(self, **kwargs) -> LifetimeProblem:
+        workload = WorkloadModel(
+            state_names=("on",),
+            generator=np.zeros((1, 1)),
+            currents=np.array([0.5]),
+            initial_distribution=np.array([1.0]),
+        )
+        battery = KiBaMParameters(capacity=20.0, c=1.0, k=0.0)
+        return LifetimeProblem(
+            workload=workload,
+            battery=battery,
+            times=np.linspace(5.0, 60.0, 4),
+            delta=battery.available_capacity / 8.0,
+            **kwargs,
+        )
+
+    def test_problem_validates_the_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            self._problem(kernel="turbo")
+        assert self._problem().with_kernel("scipy").kernel == "scipy"
+
+    def test_solve_reports_kernel_and_poisson_counters(self):
+        result = solve_lifetime(self._problem(kernel="scipy"), method="mrm-uniformization")
+        assert result.diagnostics["kernel"] == "scipy"
+        assert "poisson_shared_cache_hits" in result.diagnostics
+
+    def test_kernels_join_the_merge_key_but_not_fingerprints(self):
+        from repro.engine.sweep import scenario_fingerprint
+
+        scipy_side = self._problem(kernel="scipy")
+        auto_side = self._problem(kernel="auto")
+        assert chain_merge_key(scipy_side) != chain_merge_key(auto_side)
+        assert scenario_fingerprint(scipy_side, "mrm-uniformization") == scenario_fingerprint(
+            auto_side, "mrm-uniformization"
+        )
+
+    def test_batch_solves_mixed_kernels_identically(self):
+        batch = ScenarioBatch(
+            [
+                self._problem(kernel="scipy").with_label("scipy"),
+                self._problem(kernel="auto").with_label("auto"),
+            ]
+        )
+        outcome = batch.run("mrm-uniformization")
+        np.testing.assert_allclose(
+            outcome[0].distribution.probabilities,
+            outcome[1].distribution.probabilities,
+            atol=1e-12,
+        )
