@@ -27,6 +27,14 @@ Two acceptance gates for the kernel layer introduced with
    fused one through the production :class:`TransientPropagator`, the
    reference one through an algorithm-identical segment driver -- and must
    agree to :data:`TOLERANCE`.
+3. **Disabled contract hooks.**  With ``REPRO_CHECKS=off`` the structural
+   validators of :mod:`repro.markov.validate` must cost less than
+   :data:`REQUIRED_CHECKS_OFF_OVERHEAD` of the 52k-state solve -- the
+   promise made by the :mod:`repro.checking.contracts` docstring.  The
+   guard cost is measured directly (many repetitions of the two real
+   entry hooks in ``off`` mode) rather than by differencing two
+   multi-second end-to-end solves, so the gate stays meaningful at the
+   sub-percent level where wall-clock noise would drown it.
 
 Results land in ``BENCH_kernels.json`` (stamped with commit SHA +
 timestamp) and are diffed against the committed baseline in CI.
@@ -41,12 +49,15 @@ import pytest
 import scipy.sparse as sp
 
 from repro.battery.parameters import KiBaMParameters
+from repro.checking import checks_mode
 from repro.core.discretization import discretize
 from repro.core.kibamrm import KiBaMRM
 from repro.experiments.records import write_bench_record
 from repro.markov import kernels
+from repro.markov import validate as markov_validate
 from repro.markov.poisson import cached_poisson_weights, truncation_points
 from repro.markov.uniformization import TransientPropagator
+from repro.markov.validate import check_chain, check_generator
 from repro.multibattery import MultiBatterySystem
 from repro.workload.base import WorkloadModel
 
@@ -231,7 +242,9 @@ class _ReferenceUniformizedApply:
                     zip(coo.row.tolist(), coo.col.tolist(), coo.data.tolist())
                 )
                 operand = (
-                    csr.toarray() if csr.shape[0] <= _REFERENCE_DENSE_LIMIT else csr
+                    csr.toarray()  # repro-lint: allow RPR001 (bounded by _REFERENCE_DENSE_LIMIT)
+                    if csr.shape[0] <= _REFERENCE_DENSE_LIMIT
+                    else csr
                 )
                 factors.append((axis + 1, entries, operand))
             prepared.append((tuple(term.scales), tuple(factors)))
@@ -434,6 +447,88 @@ def test_fused_kronecker_apply_speedup(benchmark):
     )
     assert max_diff <= TOLERANCE
     assert apply_speedup >= REQUIRED_FUSED_SPEEDUP
+
+
+# ----------------------------------------------------------------------
+# Gate 3: disabled REPRO_CHECKS hooks on the assembled 52k-state solve.
+# ----------------------------------------------------------------------
+
+#: Maximal fraction of the 52k-state solve the disabled contract hooks may
+#: cost (the docstring promise of ``repro.checking.contracts``).
+REQUIRED_CHECKS_OFF_OVERHEAD = 0.01
+
+#: Repetitions used to resolve the (sub-microsecond) cost of one disabled
+#: guard entry.
+_GUARD_TIMING_REPS = 20_000
+
+
+def test_checks_off_overhead(benchmark, monkeypatch):
+    """Gate 3: ``REPRO_CHECKS=off`` must cost < 1% of the 52k-state solve."""
+    # Take the environment path -- the library default -- not the cheaper
+    # in-process override, so the measured guard includes the env lookup.
+    monkeypatch.setenv("REPRO_CHECKS", "off")
+    assert checks_mode() == "off"
+
+    chain, times = _assembled_scenario()
+    assert chain.n_states >= 50_000, "the gate is about large chains"
+
+    started = time.perf_counter()
+    solved, kernel_name = benchmark.pedantic(
+        lambda: _solve_chain(chain, times, kernel="auto"),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    solve_seconds = time.perf_counter() - started
+    cdf = np.asarray(solved.values[0], dtype=float)
+    assert cdf[-1] >= 1.0 - 1e-3, "the grid must cover depletion"
+
+    # One discretize-and-solve crosses two guarded entries: ``discretize``
+    # runs ``check_chain`` on the built chain and ``TransientPropagator``
+    # runs ``check_generator``.  Time the real hooks in off mode.
+    guarded_entries_per_solve = 2
+    started = time.perf_counter()
+    for _ in range(_GUARD_TIMING_REPS):
+        check_chain(chain)
+        check_generator(chain.generator)
+    per_entry_seconds = (time.perf_counter() - started) / (2 * _GUARD_TIMING_REPS)
+    overhead = guarded_entries_per_solve * per_entry_seconds / solve_seconds
+
+    # "Not invoked at all": with the validators replaced by a bomb the
+    # disabled hooks must still return silently.
+    def _bomb(*args, **kwargs):
+        raise AssertionError("validator must not run under REPRO_CHECKS=off")
+
+    monkeypatch.setattr(markov_validate, "validate_generator", _bomb)
+    monkeypatch.setattr(markov_validate, "validate_absorbing", _bomb)
+    check_chain(chain)
+    check_generator(chain.generator)
+
+    _merge_record_section("checks_off_overhead", {
+        "benchmark": "repro_checks_off_guard_overhead",
+        "scenario": {
+            "n_states": int(chain.n_states),
+            "n_times": int(times.size),
+            "epsilon": EPSILON,
+            "kernel": kernel_name,
+            "guarded_entries_per_solve": guarded_entries_per_solve,
+            "guard_timing_reps": _GUARD_TIMING_REPS,
+        },
+        "results": {
+            "solve_seconds": solve_seconds,
+            "iterations": int(solved.iterations),
+            "per_entry_seconds": per_entry_seconds,
+            "overhead_fraction": overhead,
+            "required_max_overhead": REQUIRED_CHECKS_OFF_OVERHEAD,
+        },
+    })
+    print(
+        f"\n{chain.n_states}-state chain under REPRO_CHECKS=off: solve "
+        f"{solve_seconds:.2f} s ({kernel_name} kernel), disabled guard "
+        f"{per_entry_seconds * 1e6:.2f} us/entry x {guarded_entries_per_solve} "
+        f"entries = {overhead * 100.0:.5f}% overhead"
+    )
+    assert overhead <= REQUIRED_CHECKS_OFF_OVERHEAD
 
 
 if __name__ == "__main__":

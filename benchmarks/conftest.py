@@ -8,9 +8,16 @@ control the number of Monte-Carlo replications.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.registry import ExperimentConfig
+
+# Benchmarks measure solver throughput; the structural validators are
+# disabled by default so their (small) cost never pollutes a timing.  The
+# overhead benchmark in bench_kernels.py asserts the ``off`` mode is free.
+os.environ.setdefault("REPRO_CHECKS", "off")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,62 @@
+"""The single sanctioned sparse-to-dense boundary.
+
+Dense O(n^2) materialisation of a chain is occasionally the right tool --
+``expm`` cross-checks, direct LU steady-state solves, embedded-chain
+analyses on workload-sized models -- but it must never happen *silently*
+on a product-space chain (a 52k-state generator is ~21 GiB dense; the 1M
+state banks do not fit in any memory).  Every dense conversion in the
+library therefore goes through :func:`dense_fallback`, which refuses
+chains above an explicit state-count limit with an actionable error.
+
+Lint rule RPR001 (``tools/repro_lint.py``) allowlists exactly this module
+for ``.toarray()`` calls, so a new unguarded dense escape cannot land
+unnoticed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+import scipy.sparse as sp
+
+__all__ = ["DEFAULT_DENSE_LIMIT", "DenseFallbackError", "dense_fallback"]
+
+#: Default state-count bound of :func:`dense_fallback`: 8192 states is a
+#: 512 MiB dense generator, the upper end of what the dense algorithms
+#: behind the fallback (``expm``, LU solves) are sensible for anyway.
+DEFAULT_DENSE_LIMIT = 8192
+
+
+class DenseFallbackError(ValueError):
+    """A chain was too large for a dense O(n^2) materialisation."""
+
+
+def dense_fallback(
+    generator: Any, limit: int = DEFAULT_DENSE_LIMIT
+) -> npt.NDArray[np.float64]:
+    """Return *generator* as a dense array, refusing chains above *limit*.
+
+    Accepts scipy sparse matrices, dense arrays (validated against the
+    same limit for symmetry) and matrix-free operators exposing
+    ``to_csr()``.  Raises :class:`DenseFallbackError` -- naming the size,
+    the limit and the projected allocation -- when the chain has more than
+    *limit* states, instead of letting ``.toarray()`` silently allocate
+    O(n^2) memory.
+    """
+    n = int(generator.shape[0])
+    if n > limit:
+        projected = n * n * 8 / 2**30
+        raise DenseFallbackError(
+            f"refusing dense fallback for a {n}-state chain (limit {limit}): "
+            f"a dense generator would allocate ~{projected:.1f} GiB; use the "
+            "sparse/uniformisation path, or raise the limit explicitly if the "
+            "dense algorithm is intended"
+        )
+    if sp.issparse(generator):
+        return np.asarray(generator.toarray(), dtype=float)
+    to_csr = getattr(generator, "to_csr", None)
+    if to_csr is not None and not isinstance(generator, np.ndarray):
+        return np.asarray(to_csr().toarray(), dtype=float)
+    return np.asarray(generator, dtype=float)

@@ -35,6 +35,7 @@ import scipy.sparse as sp
 
 from repro.core.grid import RewardGrid
 from repro.core.kibamrm import KiBaMRM
+from repro.markov.validate import check_chain
 
 __all__ = ["DiscretizedKiBaMRM", "discretize", "place_initial_distribution"]
 
@@ -220,10 +221,12 @@ def discretize(model: KiBaMRM, delta: float) -> DiscretizedKiBaMRM:
     )
     empty_states = grid.flat_index(states_mesh.ravel(), 0, j2_empty.ravel())
 
-    return DiscretizedKiBaMRM(
+    chain = DiscretizedKiBaMRM(
         model=model,
         grid=grid,
         generator=expanded_generator,
         initial_distribution=initial,
         empty_states=np.sort(empty_states),
     )
+    check_chain(chain)
+    return chain

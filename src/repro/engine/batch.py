@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -49,10 +50,16 @@ from repro.engine.solvers import (
 )
 from repro.engine.workspace import SolveWorkspace
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable, Iterator, Sequence
+
+    from repro.battery.parameters import KiBaMParameters
+    from repro.checking import FloatArray
+
 __all__ = ["BatchResult", "ScenarioBatch", "chain_merge_key"]
 
 
-def chain_merge_key(problem: LifetimeProblem) -> tuple:
+def chain_merge_key(problem: LifetimeProblem) -> tuple[Any, ...]:
     """Grouping key: MRM scenarios with equal keys can share an expanded chain.
 
     Chains with transfer only merge when truly identical; transfer-free
@@ -105,12 +112,12 @@ class BatchResult:
     """Results of a :class:`ScenarioBatch` run, in scenario order."""
 
     results: tuple[LifetimeResult, ...]
-    diagnostics: dict = field(default_factory=dict)
+    diagnostics: dict[str, Any] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[LifetimeResult]:
         return iter(self.results)
 
     def __getitem__(self, index: int) -> LifetimeResult:
@@ -132,14 +139,19 @@ class ScenarioBatch:
         ``label`` to tell the curves apart).
     """
 
-    def __init__(self, problems):
+    def __init__(self, problems: Iterable[LifetimeProblem]) -> None:
         self._problems: list[LifetimeProblem] = list(problems)
         if not self._problems:
             raise ValueError("a scenario batch needs at least one problem")
 
     # ------------------------------------------------------------------
     @classmethod
-    def over_batteries(cls, base: LifetimeProblem, batteries, labels=None) -> "ScenarioBatch":
+    def over_batteries(
+        cls,
+        base: LifetimeProblem,
+        batteries: Iterable[KiBaMParameters],
+        labels: Sequence[str] | None = None,
+    ) -> "ScenarioBatch":
         """Sweep the base problem over several battery parameter sets."""
         batteries = list(batteries)
         if labels is None:
@@ -153,7 +165,12 @@ class ScenarioBatch:
         )
 
     @classmethod
-    def over_deltas(cls, base: LifetimeProblem, deltas, label_format="Delta={delta:g}") -> "ScenarioBatch":
+    def over_deltas(
+        cls,
+        base: LifetimeProblem,
+        deltas: Iterable[float],
+        label_format: str = "Delta={delta:g}",
+    ) -> "ScenarioBatch":
         """Sweep the base problem over several discretisation steps."""
         return cls(
             base.with_delta(float(delta)).with_label(label_format.format(delta=delta))
@@ -161,7 +178,12 @@ class ScenarioBatch:
         )
 
     @classmethod
-    def over_policies(cls, base, policies, labels=None) -> "ScenarioBatch":
+    def over_policies(
+        cls,
+        base: Any,
+        policies: Sequence[Any],
+        labels: Sequence[str] | None = None,
+    ) -> "ScenarioBatch":
         """Sweep a multi-battery base problem over scheduling policies.
 
         *base* must be a
@@ -217,7 +239,7 @@ class ScenarioBatch:
         # Group the MRM scenarios that can share a chain; everything else is
         # solved individually (still sharing the workspace caches).
         mrm_name = MRMUniformizationSolver.name
-        groups: dict[tuple, list[int]] = {}
+        groups: dict[tuple[Any, ...], list[int]] = {}
         for index, (problem, concrete) in enumerate(zip(self._problems, methods)):
             if concrete != mrm_name:
                 continue
@@ -274,7 +296,7 @@ class ScenarioBatch:
         vectors = [self._initial_vector(chain, problem) for problem in group]
         unique_rows: dict[bytes, int] = {}
         row_of: list[int] = []
-        stack: list[np.ndarray] = []
+        stack: list[FloatArray] = []
         for vector in vectors:
             fingerprint = vector.tobytes()
             row = unique_rows.get(fingerprint)
@@ -320,7 +342,9 @@ class ScenarioBatch:
         return results
 
     @staticmethod
-    def _initial_vector(chain: DiscretizedKiBaMRM, problem: LifetimeProblem) -> np.ndarray:
+    def _initial_vector(
+        chain: DiscretizedKiBaMRM, problem: LifetimeProblem
+    ) -> FloatArray:
         """Place the workload's initial law at the scenario's charge levels."""
         if problem.is_multibattery:
             # Bank scenarios only merge on identical chain keys, so every

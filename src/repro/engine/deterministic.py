@@ -10,10 +10,15 @@ driver routes through :mod:`repro.engine`.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.battery.base import Battery, DischargeResult
 from repro.battery.kibam import KineticBatteryModel
 from repro.battery.parameters import KiBaMParameters
 from repro.battery.profiles import LoadProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy.typing as npt
 
 __all__ = ["deterministic_lifetime", "discharge_trajectory"]
 
@@ -42,7 +47,7 @@ def deterministic_lifetime(
 def discharge_trajectory(
     battery: Battery | KiBaMParameters,
     profile: LoadProfile,
-    times,
+    times: npt.ArrayLike,
 ) -> DischargeResult:
     """Return the well contents of *battery* under *profile* at the sample *times*."""
     return _as_battery(battery).discharge(profile, times)

@@ -1,0 +1,103 @@
+"""The shared schema of solver ``diagnostics`` keys.
+
+Every :class:`~repro.engine.result.LifetimeResult` (and the sweep/batch
+aggregates) carries a ``diagnostics`` mapping.  Downstream consumers --
+experiment renderers, bench-regression diffs, the planned service-layer
+metrics -- address those entries by string key, so a typo'd or ad-hoc key
+is a silent contract break: the producer thinks it reported something,
+the consumer reads ``None``.  This module is the single source of truth
+for the vocabulary.  Lint rule RPR004 (``tools/repro_lint.py``) parses
+the literal below and flags any literal diagnostics key used in
+:mod:`repro.engine` that is not part of it; :func:`validate_diagnostics`
+gives runtime code and tests the same check.
+
+``DIAGNOSTICS_SCHEMA`` must stay a pure ``{str: str}`` literal -- the
+lint pass reads it with ``ast.literal_eval`` without importing the
+package.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["DIAGNOSTIC_KEYS", "DIAGNOSTICS_SCHEMA", "validate_diagnostics"]
+
+#: Key -> one-line meaning.  Grouped by the layer that writes them.
+DIAGNOSTICS_SCHEMA = {
+    # -- shared MRM solve telemetry (build_mrm_result) ------------------
+    "delta": "discretisation step (ampere-seconds per charge level)",
+    "n_states": "number of states of the solved chain",
+    "n_nonzero": "structural non-zeros of the generator",
+    "uniformization_rate": "uniformisation rate Lambda of the solve",
+    "iterations": "vector-matrix products performed",
+    "epsilon": "truncation/accuracy bound of the solve",
+    "cdf_mass_achieved": "CDF mass reached at the last grid time",
+    "cdf_complete": "whether the grid captured the whole CDF",
+    "wall_seconds": "wall-clock seconds of the producing call",
+    "backend": "chain backend that solved (assembled/matrix-free/lumped)",
+    # -- transient fast-path telemetry (transient_diagnostics) ----------
+    "transient_mode": "incremental or single-pass propagation",
+    "kernel": "resolved uniformisation kernel (scipy/compiled)",
+    "n_segments": "Poisson-window segments of the incremental chain",
+    "iterations_saved": "products avoided by steady-state detection",
+    "steady_state_time": "detected steady-state time (None if not reached)",
+    "steady_state_iteration": "product index at steady-state detection",
+    "poisson_window_cache_hits": "per-window Poisson memo hits",
+    "poisson_window_cache_misses": "per-window Poisson memo misses",
+    "poisson_window_cache_size": "per-window Poisson memo entries",
+    "poisson_window_cache_maxsize": "per-window Poisson memo capacity",
+    "poisson_shared_cache_hits": "shared-table Poisson memo hits",
+    "poisson_shared_cache_misses": "shared-table Poisson memo misses",
+    "poisson_shared_cache_size": "shared-table Poisson memo entries",
+    "poisson_shared_cache_maxsize": "shared-table Poisson memo capacity",
+    # -- analytic solver ------------------------------------------------
+    "effective_capacity_as": "available well c*C in ampere-seconds",
+    # -- Monte-Carlo solver ---------------------------------------------
+    "n_runs": "number of simulated replications",
+    "seed": "base seed of the replication RNG tree",
+    "horizon": "simulation horizon in seconds",
+    "mean_lifetime_seconds": "sample-mean lifetime of the replications",
+    "censored_runs": "replications still alive at the horizon",
+    "horizon_capped_by_steady_state": "whether a steady-state hint capped the horizon",
+    "steady_state_horizon_hint": "workspace steady-state time used for the cap",
+    # -- auto dispatch --------------------------------------------------
+    "auto_dispatched_to": "concrete solver the auto method selected",
+    # -- scenario batching (ScenarioBatch) ------------------------------
+    "batched": "whether the result came from a stacked batch solve",
+    "batch_size": "scenarios sharing the batch's chain",
+    "batch_rows": "stacked initial-distribution rows of the batch",
+    "n_scenarios": "scenarios in the batch/sweep",
+    "merged_groups": "chain-sharing groups the batch merged",
+    "stacked_scenarios": "scenarios solved via stacked propagation",
+    # -- workspace reuse ------------------------------------------------
+    "chain_builds": "chains discretised by the workspace",
+    "chain_build_hits": "chain builds served from the workspace cache",
+    "poisson_cache_hits": "combined Poisson memo hits (both caches)",
+    "poisson_cache_misses": "combined Poisson memo misses (both caches)",
+    # -- sweep driver ---------------------------------------------------
+    "n_solved": "scenarios actually solved (not cache-served)",
+    "cache_hit": "whether this scenario came from the sweep cache",
+    "cache_hits": "scenarios served from the sweep cache",
+    "n_workers": "worker processes of the sweep",
+    "n_chunks": "chain-sharing chunks the sweep partitioned into",
+    "parallel": "whether the sweep fanned out over processes",
+    "methods": "concrete solver methods the sweep used",
+    "cache": "sweep-cache statistics (hits/misses/evictions)",
+}
+
+#: The allowed key set, for fast membership checks.
+DIAGNOSTIC_KEYS = frozenset(DIAGNOSTICS_SCHEMA)
+
+
+def validate_diagnostics(diagnostics: Mapping[str, Any]) -> None:
+    """Raise ``KeyError`` when *diagnostics* uses keys outside the schema.
+
+    Used by the validator self-tests; producers are checked statically by
+    lint rule RPR004 instead, so the hot path never pays for this.
+    """
+    unknown = sorted(set(diagnostics) - DIAGNOSTIC_KEYS)
+    if unknown:
+        raise KeyError(
+            f"diagnostics keys {unknown} are not in the shared schema; add them "
+            "to repro.engine.diagnostics.DIAGNOSTICS_SCHEMA with a one-line meaning"
+        )

@@ -13,12 +13,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.battery.parameters import KiBaMParameters
 from repro.core.kibamrm import KiBaMRM
 from repro.workload.base import WorkloadModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy.typing as npt
+
+    from repro.checking import FloatArray
 
 __all__ = ["LifetimeProblem", "default_delta"]
 
@@ -80,7 +86,7 @@ class LifetimeProblem:
 
     workload: WorkloadModel
     battery: KiBaMParameters
-    times: np.ndarray
+    times: FloatArray
     delta: float | None = None
     epsilon: float = 1e-8
     n_runs: int = 1000
@@ -89,7 +95,7 @@ class LifetimeProblem:
     label: str | None = None
     transient_mode: str = "incremental"
     kernel: str = "auto"
-    metadata: dict = field(default_factory=dict, compare=False)
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
         times = np.atleast_1d(np.asarray(self.times, dtype=float)).ravel()
@@ -183,7 +189,7 @@ class LifetimeProblem:
         """Return a copy with a different battery parameter set."""
         return replace(self, battery=battery)
 
-    def with_times(self, times) -> "LifetimeProblem":
+    def with_times(self, times: npt.ArrayLike) -> "LifetimeProblem":
         """Return a copy with a different evaluation grid."""
         return replace(self, times=np.asarray(times, dtype=float))
 
@@ -204,7 +210,7 @@ class LifetimeProblem:
         return replace(self, kernel=kernel)
 
     # ------------------------------------------------------------------
-    def workload_fingerprint(self) -> tuple:
+    def workload_fingerprint(self) -> tuple[Any, ...]:
         """Hashable fingerprint of the workload (used as a batch cache key)."""
         w = self.workload
         return (
@@ -214,7 +220,7 @@ class LifetimeProblem:
             w.initial_distribution.tobytes(),
         )
 
-    def chain_key(self) -> tuple:
+    def chain_key(self) -> tuple[Any, ...]:
         """Cache key identifying the expanded CTMC this problem discretises to."""
         return (
             self.workload_fingerprint(),

@@ -12,10 +12,16 @@ solver ran.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.analysis.distribution import LifetimeDistribution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    from repro.checking import FloatArray
 
 __all__ = ["LifetimeResult"]
 
@@ -41,16 +47,16 @@ class LifetimeResult:
 
     distribution: LifetimeDistribution
     method: str
-    diagnostics: dict = field(default_factory=dict)
+    diagnostics: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
-    def times(self) -> np.ndarray:
+    def times(self) -> FloatArray:
         """The evaluation time grid (seconds)."""
         return self.distribution.times
 
     @property
-    def probabilities(self) -> np.ndarray:
+    def probabilities(self) -> FloatArray:
         """``Pr{battery empty at t}`` on the time grid."""
         return self.distribution.probabilities
 
@@ -76,7 +82,9 @@ class LifetimeResult:
         """First grid time at which the CDF reaches *probability*."""
         return self.distribution.quantile(probability)
 
-    def percentiles(self, levels=SUMMARY_PERCENTILES) -> dict[float, float | None]:
+    def percentiles(
+        self, levels: Iterable[float] = SUMMARY_PERCENTILES
+    ) -> dict[float, float | None]:
         """Return the requested percentiles; ``None`` where the CDF stops short."""
         out: dict[float, float | None] = {}
         for level in levels:
@@ -86,7 +94,7 @@ class LifetimeResult:
                 out[float(level)] = None
         return out
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, Any]:
         """Return a compact summary (method, mean, percentiles, diagnostics)."""
         return {
             "method": self.method,

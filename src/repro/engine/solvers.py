@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -40,6 +41,10 @@ from repro.simulation.lifetime_sim import (
     simulate_lifetime_distribution,
     simulate_system_lifetime_distribution,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checking.protocols import DiscretizedChain
+    from repro.markov.uniformization import BatchTransientResult, UniformizationResult
 
 __all__ = [
     "AnalyticSolver",
@@ -63,7 +68,9 @@ MAX_AUTO_MRM_STATES = 200_000
 MAX_AUTO_MATRIXFREE_STATES = 2_000_000
 
 
-def _backend_and_key(problem: LifetimeProblem, delta: float) -> tuple[str | None, tuple]:
+def _backend_and_key(
+    problem: LifetimeProblem, delta: float
+) -> tuple[str | None, tuple[Any, ...]]:
     """Resolve the multi-battery backend and the workspace build key.
 
     Single-battery problems have one chain realisation; bank problems key
@@ -80,7 +87,7 @@ def _backend_and_key(problem: LifetimeProblem, delta: float) -> tuple[str | None
     return backend, key + (("backend", backend),)
 
 
-def cdf_mass_diagnostics(distribution: LifetimeDistribution) -> dict:
+def cdf_mass_diagnostics(distribution: LifetimeDistribution) -> dict[str, Any]:
     """Diagnostics entries describing how much of the CDF the grid captured.
 
     Every solver records these so that callers (and
@@ -93,7 +100,9 @@ def cdf_mass_diagnostics(distribution: LifetimeDistribution) -> dict:
     }
 
 
-def transient_diagnostics(transient) -> dict:
+def transient_diagnostics(
+    transient: BatchTransientResult | UniformizationResult,
+) -> dict[str, Any]:
     """Diagnostics entries describing one uniformisation transient solve.
 
     Shared by the individual MRM solver and the batched scenario runner so
@@ -117,12 +126,12 @@ def transient_diagnostics(transient) -> dict:
 
 def build_mrm_result(
     problem: LifetimeProblem,
-    chain,
-    probabilities: np.ndarray,
+    chain: DiscretizedChain,
+    probabilities: FloatArray,
     *,
     rate: float,
     iterations: int,
-    extra_diagnostics: dict | None = None,
+    extra_diagnostics: dict[str, Any] | None = None,
 ) -> LifetimeResult:
     """Package one MRM solution as a :class:`LifetimeResult`.
 
@@ -292,9 +301,9 @@ class MonteCarloSolver:
 
     def _effective_horizon(
         self, problem: LifetimeProblem, workspace: SolveWorkspace | None
-    ) -> tuple[float | None, dict]:
+    ) -> tuple[float | None, dict[str, Any]]:
         """The horizon to simulate with, and the cap diagnostics."""
-        diagnostics: dict = {"horizon_capped_by_steady_state": False}
+        diagnostics: dict[str, Any] = {"horizon_capped_by_steady_state": False}
         if problem.horizon is not None:
             return problem.horizon, diagnostics
         if workspace is None:
@@ -407,7 +416,7 @@ class AutoSolver:
 
     name = "auto"
 
-    def __init__(self, *, max_mrm_states: int = MAX_AUTO_MRM_STATES):
+    def __init__(self, *, max_mrm_states: int = MAX_AUTO_MRM_STATES) -> None:
         self.max_mrm_states = int(max_mrm_states)
 
     def supports(self, problem: LifetimeProblem) -> bool:

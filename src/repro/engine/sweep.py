@@ -36,6 +36,7 @@ import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -47,6 +48,9 @@ from repro.engine.solvers import MRMUniformizationSolver, choose_method
 from repro.engine.workspace import SolveWorkspace
 from repro.simulation.rng import DEFAULT_SEED, spawn_seeds
 from repro.workload.base import WorkloadModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checking import FloatArray
 
 __all__ = [
     "SweepCache",
@@ -70,11 +74,11 @@ class SweepScenarioError(RuntimeError):
     pickling).
     """
 
-    def __init__(self, message: str, labels: tuple[str, ...] = ()):
+    def __init__(self, message: str, labels: tuple[str, ...] = ()) -> None:
         super().__init__(message)
         self.labels = tuple(labels)
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type[SweepScenarioError], tuple[str, tuple[str, ...]]]:
         return (type(self), (self.args[0], self.labels))
 
 
@@ -140,7 +144,7 @@ class SweepCache:
     directories you trust.
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None):
+    def __init__(self, directory: str | os.PathLike[str] | None = None) -> None:
         self._memory: dict[str, LifetimeResult] = {}
         self._directory = os.fspath(directory) if directory is not None else None
         if self._directory is not None:
@@ -189,7 +193,7 @@ class SweepCache:
             os.unlink(handle.name)
             raise
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         """Return hit/miss counters and the number of entries held."""
         return {"entries": len(self._memory), "hits": self.hits, "misses": self.misses}
 
@@ -241,7 +245,7 @@ class SweepSpec:
 
     workloads: Sequence[WorkloadModel | str]
     batteries: Sequence[KiBaMParameters | Sequence[KiBaMParameters]]
-    times: Sequence[float] | np.ndarray
+    times: Sequence[float] | FloatArray
     deltas: Sequence[float | None] = (None,)
     methods: Sequence[str] = ("auto",)
     policies: Sequence[object | None] = (None,)
@@ -369,7 +373,7 @@ class SweepResult(BatchResult):
 
 
 # ----------------------------------------------------------------------
-def _chain_group_key(problem: LifetimeProblem, method: str) -> tuple:
+def _chain_group_key(problem: LifetimeProblem, method: str) -> tuple[Any, ...]:
     """Chunking key: scenarios with equal keys can share an expanded chain.
 
     Delegates to :func:`~repro.engine.batch.chain_merge_key` (the single
@@ -407,7 +411,7 @@ def _partition(
     greedy on the estimated cost).  The assignment depends only on the
     scenario list, so it is deterministic.
     """
-    groups: dict[tuple, list[tuple[int, LifetimeProblem, str]]] = {}
+    groups: dict[tuple[Any, ...], list[tuple[int, LifetimeProblem, str]]] = {}
     for index, problem, method in scenarios:
         groups.setdefault(_chain_group_key(problem, method), []).append(
             (index, problem, method)
@@ -470,7 +474,7 @@ def _solve_chunk(
     return solved
 
 
-def _with_diagnostics(result: LifetimeResult, extra: dict) -> LifetimeResult:
+def _with_diagnostics(result: LifetimeResult, extra: dict[str, Any]) -> LifetimeResult:
     """Return *result* with *extra* merged into its diagnostics."""
     return replace(result, diagnostics={**result.diagnostics, **extra})
 

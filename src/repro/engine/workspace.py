@@ -24,6 +24,7 @@ as the memory for the cached chains is acceptable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -32,6 +33,9 @@ from repro.core.kibamrm import KiBaMRM
 from repro.markov.poisson import poisson_cache_diagnostics
 from repro.markov.uniformization import TransientPropagator
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checking import FloatArray
+
 __all__ = ["SolveWorkspace"]
 
 
@@ -39,10 +43,12 @@ __all__ = ["SolveWorkspace"]
 class SolveWorkspace:
     """Caches shared by every solve routed through one engine call/batch."""
 
-    chains: dict[tuple, DiscretizedKiBaMRM] = field(default_factory=dict)
-    propagators: dict[tuple, TransientPropagator] = field(default_factory=dict)
-    projections: dict[tuple, np.ndarray] = field(default_factory=dict)
-    steady_state_times: dict[tuple, float] = field(default_factory=dict)
+    chains: dict[tuple[Any, ...], DiscretizedKiBaMRM] = field(default_factory=dict)
+    propagators: dict[tuple[Any, ...], TransientPropagator] = field(
+        default_factory=dict
+    )
+    projections: dict[tuple[Any, ...], FloatArray] = field(default_factory=dict)
+    steady_state_times: dict[tuple[Any, ...], float] = field(default_factory=dict)
     #: Whether the recorded steady-state times may cap Monte-Carlo horizons.
     #: The sweep runner disables this: a cap that depends on which *other*
     #: scenarios shared the workspace would make cached Monte-Carlo results
@@ -57,11 +63,15 @@ class SolveWorkspace:
         # per-window memo and the shared-table memo) so diagnostics report
         # what *this* workspace's solves contributed, not the cumulative
         # process history.
-        self._poisson_baseline = poisson_cache_diagnostics()
+        self._poisson_baseline: dict[str, int] = poisson_cache_diagnostics()
 
     # ------------------------------------------------------------------
     def discretized(
-        self, model, delta: float, key: tuple, backend: str | None = None
+        self,
+        model: Any,
+        delta: float,
+        key: tuple[Any, ...],
+        backend: str | None = None,
     ) -> DiscretizedKiBaMRM:
         """Return the expanded chain for *key*, building it at most once.
 
@@ -89,7 +99,7 @@ class SolveWorkspace:
         return chain
 
     def propagator(
-        self, chain: DiscretizedKiBaMRM, key: tuple, *, kernel: str = "auto"
+        self, chain: DiscretizedKiBaMRM, key: tuple[Any, ...], *, kernel: str = "auto"
     ) -> TransientPropagator:
         """Return the cached uniformised propagator for *chain*.
 
@@ -106,7 +116,9 @@ class SolveWorkspace:
             self.propagators[key] = propagator
         return propagator
 
-    def empty_projection(self, chain: DiscretizedKiBaMRM, key: tuple) -> np.ndarray:
+    def empty_projection(
+        self, chain: DiscretizedKiBaMRM, key: tuple[Any, ...]
+    ) -> FloatArray:
         """Return the cached empty-state indicator vector for *chain*."""
         projection = self.projections.get(key)
         if projection is None:
@@ -117,7 +129,9 @@ class SolveWorkspace:
         return projection
 
     # ------------------------------------------------------------------
-    def note_steady_state(self, key: tuple, steady_state_time: float | None) -> None:
+    def note_steady_state(
+        self, key: tuple[Any, ...], steady_state_time: float | None
+    ) -> None:
         """Record the steady-state time an MRM solve detected for *key*.
 
         The earliest detection wins: a finer time grid can localise the
@@ -131,7 +145,7 @@ class SolveWorkspace:
         if known is None or time < known:
             self.steady_state_times[key] = time
 
-    def steady_state_hint(self, key: tuple) -> float | None:
+    def steady_state_hint(self, key: tuple[Any, ...]) -> float | None:
         """Return the recorded steady-state time for *key*, if any.
 
         Returns ``None`` when horizon caps are disabled for this
@@ -142,7 +156,7 @@ class SolveWorkspace:
         return self.steady_state_times.get(key)
 
     # ------------------------------------------------------------------
-    def diagnostics(self) -> dict:
+    def diagnostics(self) -> dict[str, Any]:
         """Return reuse statistics (chain builds saved, Poisson cache hits).
 
         The Poisson counters are relative to the creation of this

@@ -14,7 +14,10 @@ library is built on:
 * phase-type distributions such as the Erlang-K distributions used by the
   on/off workload model (:mod:`repro.markov.phase_type`),
 * absorbing-state analysis and first-passage times
-  (:mod:`repro.markov.absorbing`).
+  (:mod:`repro.markov.absorbing`),
+* structural chain validation -- generator laws, absorbing reachability,
+  Kronecker-operator consistency, exact lumping quotients -- behind the
+  ``REPRO_CHECKS`` toggle (:mod:`repro.markov.validate`).
 
 The paper's Markovian-approximation algorithm (Section 5) reduces the
 battery-lifetime problem to the transient solution of a large, sparse CTMC;
@@ -66,6 +69,14 @@ from repro.markov.uniformization import (
     uniformization_rate,
     uniformized_transient,
 )
+from repro.markov.validate import (
+    ValidationError,
+    check_chain,
+    check_generator,
+    validate_absorbing,
+    validate_kronecker,
+    validate_lumping,
+)
 
 __all__ = [
     "BatchTransientResult",
@@ -78,12 +89,15 @@ __all__ = [
     "TransientPropagator",
     "UniformizationResult",
     "UniformizedOperator",
+    "ValidationError",
     "absorption_probabilities",
     "absorption_time_cdf",
     "as_csr",
     "assembled_csr_bytes",
     "build_generator",
     "cached_poisson_weights",
+    "check_chain",
+    "check_generator",
     "embedded_jump_matrix",
     "erlang",
     "exit_rates",
@@ -100,5 +114,8 @@ __all__ = [
     "uniformization_rate",
     "uniformized_matrix",
     "uniformized_transient",
+    "validate_absorbing",
     "validate_generator",
+    "validate_kronecker",
+    "validate_lumping",
 ]

@@ -11,10 +11,21 @@ mean-lifetime estimates.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 import scipy.sparse as sp
 
+from repro.checking.dense import dense_fallback
+from repro.checking.protocols import FloatArray, IntArray
 from repro.markov.uniformization import uniformized_transient
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    import numpy.typing as npt
+
+    from repro.checking.protocols import GeneratorLike
 
 __all__ = [
     "absorbing_states",
@@ -25,13 +36,14 @@ __all__ = [
 ]
 
 
-def _dense(generator) -> np.ndarray:
-    if sp.issparse(generator):
-        return generator.toarray()
-    return np.asarray(generator, dtype=float)
+def _dense(generator: GeneratorLike) -> FloatArray:
+    """Dense view for the direct linear-algebra paths (size-guarded)."""
+    return dense_fallback(generator)
 
 
-def absorbing_states(generator, *, tolerance: float = 1e-12) -> np.ndarray:
+def absorbing_states(
+    generator: GeneratorLike, *, tolerance: float = 1e-12
+) -> IntArray:
     """Return the indices of all absorbing states (zero exit rate)."""
     if sp.issparse(generator):
         diagonal = np.asarray(generator.diagonal())
@@ -41,13 +53,13 @@ def absorbing_states(generator, *, tolerance: float = 1e-12) -> np.ndarray:
 
 
 def absorption_time_cdf(
-    generator,
-    initial_distribution,
-    absorbing,
-    times,
+    generator: GeneratorLike,
+    initial_distribution: npt.ArrayLike,
+    absorbing: Iterable[int],
+    times: npt.ArrayLike,
     *,
     epsilon: float = 1e-10,
-) -> np.ndarray:
+) -> FloatArray:
     """Return ``Pr{absorbed by time t}`` for every ``t`` in *times*.
 
     *absorbing* is an iterable of state indices that are absorbing in
@@ -63,13 +75,13 @@ def absorption_time_cdf(
 
 
 def first_passage_time_cdf(
-    generator,
-    initial_distribution,
-    target_states,
-    times,
+    generator: GeneratorLike,
+    initial_distribution: npt.ArrayLike,
+    target_states: Iterable[int],
+    times: npt.ArrayLike,
     *,
     epsilon: float = 1e-10,
-) -> np.ndarray:
+) -> FloatArray:
     """Return the CDF of the first time the chain enters *target_states*.
 
     The chain is modified so that the target states become absorbing; the
@@ -91,7 +103,9 @@ def first_passage_time_cdf(
     )
 
 
-def absorption_probabilities(generator, absorbing=None) -> np.ndarray:
+def absorption_probabilities(
+    generator: GeneratorLike, absorbing: Iterable[int] | None = None
+) -> FloatArray:
     """Return, for every transient state, the probability of eventual absorption.
 
     For a chain in which the only recurrent states are the absorbing ones the
@@ -113,7 +127,11 @@ def absorption_probabilities(generator, absorbing=None) -> np.ndarray:
     return np.clip(probabilities, 0.0, 1.0)
 
 
-def expected_absorption_time(generator, initial_distribution, absorbing=None) -> float:
+def expected_absorption_time(
+    generator: GeneratorLike,
+    initial_distribution: npt.ArrayLike,
+    absorbing: Iterable[int] | None = None,
+) -> float:
     """Return the expected time until absorption.
 
     Requires that absorption is certain from every state that carries

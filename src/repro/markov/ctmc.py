@@ -11,10 +11,13 @@ instance per solver run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.checking.dense import dense_fallback
+from repro.checking.protocols import FloatArray
 from repro.markov.dtmc import DTMC
 from repro.markov.generator import (
     embedded_jump_matrix,
@@ -28,6 +31,11 @@ from repro.markov.uniformization import (
     uniformization_rate,
     uniformized_transient,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    import numpy.typing as npt
 
 __all__ = ["CTMC"]
 
@@ -51,7 +59,7 @@ class CTMC:
     """
 
     generator: object
-    initial_distribution: np.ndarray | None = None
+    initial_distribution: FloatArray | None = None
     state_names: list[str] = field(default_factory=list)
     validate: bool = True
 
@@ -94,7 +102,7 @@ class CTMC:
         except ValueError as exc:
             raise KeyError(f"unknown state name {name!r}") from exc
 
-    def exit_rates(self) -> np.ndarray:
+    def exit_rates(self) -> FloatArray:
         """Return the exit rate of every state."""
         return exit_rates(self.generator)
 
@@ -114,13 +122,15 @@ class CTMC:
         q_rate = uniformization_rate(self.generator) if rate is None else rate
         matrix = uniformized_matrix(self.generator, q_rate)
         if sp.issparse(matrix):
-            matrix = matrix.toarray()
+            matrix = dense_fallback(matrix)
         return DTMC(matrix, list(self.state_names))
 
     # ------------------------------------------------------------------
     # analyses
     # ------------------------------------------------------------------
-    def transient(self, times, *, epsilon: float = 1e-10) -> UniformizationResult:
+    def transient(
+        self, times: npt.ArrayLike, *, epsilon: float = 1e-10
+    ) -> UniformizationResult:
         """Return the transient solution at the given time point(s)."""
         return uniformized_transient(
             self.generator,
@@ -130,15 +140,19 @@ class CTMC:
             validate=False,
         )
 
-    def transient_distribution(self, time: float, *, epsilon: float = 1e-10) -> np.ndarray:
+    def transient_distribution(
+        self, time: float, *, epsilon: float = 1e-10
+    ) -> FloatArray:
         """Return the state distribution at a single time point."""
         return self.transient([time], epsilon=epsilon).distributions[0]
 
-    def steady_state(self) -> np.ndarray:
+    def steady_state(self) -> FloatArray:
         """Return the stationary distribution (irreducible chains)."""
         return steady_state_distribution(self.generator, validate=False)
 
-    def probability_in(self, states, time: float, *, epsilon: float = 1e-10) -> float:
+    def probability_in(
+        self, states: Iterable[int], time: float, *, epsilon: float = 1e-10
+    ) -> float:
         """Return the probability of being in any of *states* at *time*."""
         distribution = self.transient_distribution(time, epsilon=epsilon)
         index = np.asarray(list(states), dtype=int)

@@ -8,13 +8,19 @@ sampler of :mod:`repro.simulation`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy.typing as npt
+
+    from repro.checking import FloatArray, IntArray
 
 __all__ = ["DTMC"]
 
 
-def _validate_stochastic(matrix: np.ndarray, tolerance: float = 1e-9) -> None:
+def _validate_stochastic(matrix: FloatArray, tolerance: float = 1e-9) -> None:
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise ValueError(f"transition matrix must be square, got shape {matrix.shape}")
     if np.any(matrix < -tolerance):
@@ -39,7 +45,7 @@ class DTMC:
         Optional list of state labels; defaults to ``["0", "1", ...]``.
     """
 
-    transition_matrix: np.ndarray
+    transition_matrix: FloatArray
     state_names: list[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -55,7 +61,7 @@ class DTMC:
         """Number of states."""
         return self.transition_matrix.shape[0]
 
-    def step(self, distribution: np.ndarray, n_steps: int = 1) -> np.ndarray:
+    def step(self, distribution: npt.ArrayLike, n_steps: int = 1) -> FloatArray:
         """Return the distribution after *n_steps* transitions."""
         if n_steps < 0:
             raise ValueError("n_steps must be non-negative")
@@ -64,7 +70,7 @@ class DTMC:
             result = result @ self.transition_matrix
         return result
 
-    def stationary_distribution(self) -> np.ndarray:
+    def stationary_distribution(self) -> FloatArray:
         """Return a stationary distribution ``pi = pi P``."""
         n = self.n_states
         system = (self.transition_matrix.T - np.eye(n)).copy()
@@ -78,7 +84,9 @@ class DTMC:
         solution = np.clip(solution, 0.0, None)
         return solution / solution.sum()
 
-    def sample_path(self, initial_state: int, n_steps: int, rng: np.random.Generator) -> np.ndarray:
+    def sample_path(
+        self, initial_state: int, n_steps: int, rng: np.random.Generator
+    ) -> IntArray:
         """Sample a path of *n_steps* transitions starting in *initial_state*."""
         if not 0 <= initial_state < self.n_states:
             raise ValueError(f"initial state {initial_state} out of range")

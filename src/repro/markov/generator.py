@@ -11,9 +11,16 @@ states.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
+
+from repro.checking.dense import dense_fallback
+from repro.checking.protocols import FloatArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checking.protocols import GeneratorLike
 
 __all__ = [
     "GeneratorError",
@@ -35,12 +42,12 @@ class GeneratorError(ValueError):
     """Raised when a matrix is not a valid CTMC generator."""
 
 
-def _is_sparse(matrix) -> bool:
+def _is_sparse(matrix: object) -> bool:
     """Return ``True`` when *matrix* is a scipy sparse matrix/array."""
     return sp.issparse(matrix)
 
 
-def as_csr(matrix) -> sp.csr_matrix:
+def as_csr(matrix: GeneratorLike) -> sp.csr_matrix:
     """Convert *matrix* to CSR once, at the boundary of the sparse pipeline.
 
     The numerical pipeline (uniformisation, the engine solvers) works on
@@ -53,7 +60,7 @@ def as_csr(matrix) -> sp.csr_matrix:
     return sp.csr_matrix(np.asarray(matrix, dtype=float))
 
 
-def kron_chain(factors) -> sp.csr_matrix:
+def kron_chain(factors: Iterable[GeneratorLike]) -> sp.csr_matrix:
     """Return the Kronecker product of *factors*, reduced left to right, as CSR.
 
     The factors may be dense arrays or scipy sparse matrices; everything is
@@ -78,7 +85,7 @@ def build_generator(
     transitions: Iterable[tuple[int, int, float]],
     *,
     sparse: bool = False,
-):
+) -> FloatArray | sp.csr_matrix:
     """Build a generator matrix from a list of transitions.
 
     Parameters
@@ -126,10 +133,10 @@ def build_generator(
     generator = (off_diagonal + diagonal).tocsr()
     if sparse:
         return generator
-    return generator.toarray()
+    return dense_fallback(generator)
 
 
-def exit_rates(generator) -> np.ndarray:
+def exit_rates(generator: GeneratorLike) -> FloatArray:
     """Return the exit rate ``q_i = -Q[i, i]`` of every state.
 
     Accepts dense arrays, scipy sparse matrices and the matrix-free
@@ -145,7 +152,7 @@ def exit_rates(generator) -> np.ndarray:
     return -np.asarray(diagonal, dtype=float)
 
 
-def validate_generator(generator, *, tolerance: float = DEFAULT_TOLERANCE) -> None:
+def validate_generator(generator: GeneratorLike, *, tolerance: float = DEFAULT_TOLERANCE) -> None:
     """Raise :class:`GeneratorError` if *generator* is not a valid Q-matrix.
 
     The checks are: the matrix is square, all off-diagonal entries are
@@ -182,7 +189,7 @@ def validate_generator(generator, *, tolerance: float = DEFAULT_TOLERANCE) -> No
         )
 
 
-def is_generator(generator, *, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+def is_generator(generator: GeneratorLike, *, tolerance: float = DEFAULT_TOLERANCE) -> bool:
     """Return ``True`` when *generator* is a valid Q-matrix."""
     try:
         validate_generator(generator, tolerance=tolerance)
@@ -191,7 +198,9 @@ def is_generator(generator, *, tolerance: float = DEFAULT_TOLERANCE) -> bool:
     return True
 
 
-def uniformized_matrix(generator, rate: float):
+def uniformized_matrix(
+    generator: GeneratorLike, rate: float
+) -> FloatArray | sp.csr_matrix:
     """Return the uniformised DTMC matrix ``P = I + Q / rate``.
 
     Parameters
@@ -221,7 +230,7 @@ def uniformized_matrix(generator, rate: float):
     return np.eye(matrix.shape[0]) + matrix / rate
 
 
-def embedded_jump_matrix(generator) -> np.ndarray:
+def embedded_jump_matrix(generator: GeneratorLike) -> FloatArray:
     """Return the jump-chain (embedded DTMC) matrix of a generator.
 
     For a state ``i`` with exit rate ``q_i > 0`` the probability of jumping
@@ -229,10 +238,7 @@ def embedded_jump_matrix(generator) -> np.ndarray:
     receive a self-loop with probability one.  The result is always dense
     because it is only used for the small workload chains and for sampling.
     """
-    if _is_sparse(generator):
-        matrix = generator.toarray()
-    else:
-        matrix = np.asarray(generator, dtype=float)
+    matrix = dense_fallback(generator)
     n = matrix.shape[0]
     rates = exit_rates(matrix)
     jump = np.zeros_like(matrix)
@@ -245,7 +251,9 @@ def embedded_jump_matrix(generator) -> np.ndarray:
     return jump
 
 
-def restrict_generator(generator, states: Sequence[int]):
+def restrict_generator(
+    generator: GeneratorLike, states: Sequence[int]
+) -> FloatArray | sp.csr_matrix:
     """Return the sub-generator restricted to *states* (rows and columns).
 
     The result is in general *not* a proper generator (rows may sum to a

@@ -38,9 +38,15 @@ collapse) so both kernels share one semantics definition.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 import scipy.sparse as sp
+
+from repro.checking.protocols import FloatArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checking.protocols import GeneratorLike
 
 __all__ = [
     "KERNEL_CHOICES",
@@ -137,14 +143,22 @@ class SegmentResult:
         truncation point when it never did).
     """
 
-    accumulated: np.ndarray
-    vector: np.ndarray
+    accumulated: FloatArray
+    vector: FloatArray
     performed: int
     status: int
     break_index: int
 
 
-def segment_python(spmm, v, weights, left: int, right: int, tol: float, progress=None) -> SegmentResult:
+def segment_python(
+    spmm: Callable[[FloatArray], FloatArray],
+    v: FloatArray,
+    weights: FloatArray,
+    left: int,
+    right: int,
+    tol: float,
+    progress: Callable[[int], None] | None = None,
+) -> SegmentResult:
     """Reference segment loop shared by every kernel.
 
     *spmm* evaluates one ``v @ P`` product; the loop body reproduces the
@@ -205,30 +219,38 @@ class ScipyKernel:
     the operator's ``__rmatmul__``, so one implementation covers both.
     """
 
-    name = "scipy"
+    name: str = "scipy"
 
-    def __init__(self, matrix):
+    def __init__(self, matrix: GeneratorLike) -> None:
         self._matrix = matrix
 
     @property
-    def matrix(self):
+    def matrix(self) -> GeneratorLike:
         """The uniformised matrix (CSR) or operator the kernel applies."""
         return self._matrix
 
-    def spmm(self, block):
+    def spmm(self, block: FloatArray) -> FloatArray:
         """One ``block @ P`` product."""
-        return block @ self._matrix
+        return block @ self._matrix  # type: ignore[operator]
 
-    def run_segment(self, v, weights, left: int, right: int, tol: float, progress=None) -> SegmentResult:
+    def run_segment(
+        self,
+        v: FloatArray,
+        weights: FloatArray,
+        left: int,
+        right: int,
+        tol: float,
+        progress: Callable[[int], None] | None = None,
+    ) -> SegmentResult:
         """Run one Poisson-window segment (see :func:`segment_python`)."""
         return segment_python(self.spmm, v, weights, left, right, tol, progress)
 
 
 # ----------------------------------------------------------------------
-_compiled_routines: tuple | None = None
+_compiled_routines: tuple[Any, Any] | None = None
 
 
-def _build_compiled_routines() -> tuple:
+def _build_compiled_routines() -> tuple[Any, Any]:
     """JIT-compile the CSC gather product and the fused segment loop.
 
     Compiled lazily (first kernel construction) and cached per process;
@@ -242,7 +264,9 @@ def _build_compiled_routines() -> tuple:
     import numba
 
     @numba.njit(fastmath=False)
-    def spmm_csc(indptr, indices, data, v, out):  # pragma: no cover - jitted
+    def spmm_csc(
+        indptr: Any, indices: Any, data: Any, v: Any, out: Any
+    ) -> None:  # pragma: no cover - jitted
         """``out = v @ P`` via a gather over P's CSC columns."""
         n_batch, n = v.shape
         for k in range(n_batch):
@@ -253,7 +277,16 @@ def _build_compiled_routines() -> tuple:
                 out[k, j] = total
 
     @numba.njit(fastmath=False)
-    def run_segment_csc(indptr, indices, data, v, weights, left, right, tol):  # pragma: no cover - jitted
+    def run_segment_csc(
+        indptr: Any,
+        indices: Any,
+        data: Any,
+        v: Any,
+        weights: Any,
+        left: int,
+        right: int,
+        tol: float,
+    ) -> Any:  # pragma: no cover - jitted
         """One fused Poisson-window segment: products + accumulation.
 
         Mirrors :func:`segment_python`; the weighted accumulation, the
@@ -319,11 +352,11 @@ class CompiledKernel(ScipyKernel):
     identical either way.
     """
 
-    name = "compiled"
+    name: str = "compiled"
 
-    def __init__(self, matrix):
+    def __init__(self, matrix: GeneratorLike) -> None:
         super().__init__(matrix)
-        self._jitted = None
+        self._jitted: tuple[Any, Any] | None = None
         if not numba_available():
             # Graceful fallback: behave exactly like the scipy kernel.
             self.name = ScipyKernel.name
@@ -334,7 +367,7 @@ class CompiledKernel(ScipyKernel):
         self._indices = csc.indices
         self._data = csc.data
 
-    def spmm(self, block):
+    def spmm(self, block: FloatArray) -> FloatArray:
         if self._jitted is None:
             return super().spmm(block)
         rows = np.ascontiguousarray(block)
@@ -342,7 +375,15 @@ class CompiledKernel(ScipyKernel):
         self._jitted[0](self._indptr, self._indices, self._data, rows, out)
         return out
 
-    def run_segment(self, v, weights, left: int, right: int, tol: float, progress=None) -> SegmentResult:
+    def run_segment(
+        self,
+        v: FloatArray,
+        weights: FloatArray,
+        left: int,
+        right: int,
+        tol: float,
+        progress: Callable[[int], None] | None = None,
+    ) -> SegmentResult:
         if self._jitted is None or progress is not None:
             # Per-product progress callbacks cannot fire from inside the
             # jitted loop; keep the Python loop (still using the jitted
@@ -368,7 +409,9 @@ class CompiledKernel(ScipyKernel):
         )
 
 
-def build_kernel(matrix, kernel: str = "auto", *, matrix_free: bool = False):
+def build_kernel(
+    matrix: GeneratorLike, kernel: str = "auto", *, matrix_free: bool = False
+) -> ScipyKernel:
     """Construct the kernel *kernel* resolves to for *matrix*.
 
     Returns a :class:`ScipyKernel` or :class:`CompiledKernel`; the

@@ -38,11 +38,17 @@ call-site changes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import ModuleType
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.checking.protocols import FloatArray
 from repro.markov.generator import GeneratorError, as_csr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable, Sequence
 
 __all__ = [
     "KroneckerGenerator",
@@ -55,12 +61,12 @@ __all__ = [
 ]
 
 
-def is_matrix_free(matrix) -> bool:
+def is_matrix_free(matrix: object) -> bool:
     """Return ``True`` when *matrix* is a matrix-free operator of this module."""
     return isinstance(matrix, (KroneckerGenerator, UniformizedOperator))
 
 
-def array_namespace(array):
+def array_namespace(array: Any) -> ModuleType:
     """The array module that owns *array*: numpy by default, cupy on device.
 
     The operators of this module are array-API generic in the pragmatic
@@ -78,7 +84,7 @@ def array_namespace(array):
     return np
 
 
-def to_host(array):
+def to_host(array: Any) -> Any:
     """Return *array* as a host (numpy) array; device arrays are copied back."""
     get = getattr(array, "get", None)
     if callable(get) and type(array).__module__.partition(".")[0] == "cupy":
@@ -111,18 +117,19 @@ class _PreparedFactor:
       otherwise).
     """
 
-    def __init__(self, axis: int, matrix: sp.csr_matrix):
+    def __init__(self, axis: int, matrix: sp.csr_matrix) -> None:
         self.axis = axis
         self.matrix = matrix
         coo = matrix.tocoo()
         self.entries = list(zip(coo.row.tolist(), coo.col.tolist(), coo.data.tolist()))
         size = matrix.shape[0]
-        self.dense = matrix.toarray() if size <= _DENSE_FACTOR_LIMIT else None
+        # Factor-local densification, bounded by _DENSE_FACTOR_LIMIT (128).
+        self.dense = matrix.toarray() if size <= _DENSE_FACTOR_LIMIT else None  # repro-lint: allow RPR001
         self._offsets = self._group_by_offset(coo)
         self._device: dict[str, object] = {}
 
     @staticmethod
-    def _group_by_offset(coo) -> tuple:
+    def _group_by_offset(coo: sp.coo_matrix) -> tuple[Any, ...]:
         """Group the non-zeros by diagonal offset for vectorised updates.
 
         Returns ``(rows, cols, values)`` triples, one per distinct
@@ -150,7 +157,7 @@ class _PreparedFactor:
             grouped.append((row_index, col_index, values))
         return tuple(grouped)
 
-    def _offsets_for(self, xp) -> tuple:
+    def _offsets_for(self, xp: ModuleType) -> tuple[Any, ...]:
         """The offset groups with their value arrays in namespace *xp*."""
         if xp is np:
             return self._offsets
@@ -177,7 +184,7 @@ class _PreparedFactor:
         """
         return _PreparedFactor(self.axis, (self.matrix * float(gain)).tocsr())
 
-    def operand(self, xp):
+    def operand(self, xp: ModuleType) -> Any:
         """The trailing-axis matmul operand in namespace *xp* (cached).
 
         numpy gets the prepared dense/CSR operand directly; other
@@ -199,11 +206,12 @@ class _PreparedFactor:
 
                     cached = device_sparse.csr_matrix(self.matrix)
                 except ImportError:
-                    cached = xp.asarray(self.matrix.toarray())
+                    # Factor-sized device upload (dims are tens of states).
+                    cached = xp.asarray(self.matrix.toarray())  # repro-lint: allow RPR001
             self._device[key] = cached
         return cached
 
-    def apply(self, tensor, xp=np):
+    def apply(self, tensor: Any, xp: ModuleType = np) -> Any:
         """Contract *tensor*'s axis with the factor rows (``v -> v @ F``)."""
         shape = tensor.shape
         axis = self.axis
@@ -219,7 +227,7 @@ class _PreparedFactor:
             out[:, cols, :] += values[:, None] * flat[:, rows, :]
         return out.reshape(shape)
 
-    def apply_into(self, tensor, out, xp=np) -> None:
+    def apply_into(self, tensor: Any, out: Any, xp: ModuleType = np) -> None:
         """Accumulate the contraction into *out* (``out += tensor @ F``).
 
         The fused inner-loop form: no zero-initialised temporary and no
@@ -263,10 +271,10 @@ class KroneckerTerm:
     """
 
     factors: tuple[tuple[int, sp.csr_matrix], ...]
-    scales: tuple[np.ndarray, ...] = ()
+    scales: tuple[FloatArray, ...] = ()
 
 
-def _combine_scale_groups(scales) -> tuple:
+def _combine_scale_groups(scales: Sequence[FloatArray]) -> tuple[FloatArray, ...]:
     """Greedily multiply a term's scalings together where that saves memory.
 
     Each product of two scalings costs one full-tensor pass per operator
@@ -277,7 +285,7 @@ def _combine_scale_groups(scales) -> tuple:
     product-space array and blow the matrix-free memory budget).  Greedy
     first-fit keeps compatible shapes together and leaves the rest alone.
     """
-    groups: list[np.ndarray] = []
+    groups: list[FloatArray] = []
     for scale in scales:
         for index, group in enumerate(groups):
             shape = np.broadcast_shapes(group.shape, scale.shape)
@@ -290,7 +298,13 @@ def _combine_scale_groups(scales) -> tuple:
     return tuple(groups)
 
 
-def _apply_terms(rows, dims, diagonal, terms, xp):
+def _apply_terms(
+    rows: Any,
+    dims: tuple[int, ...],
+    diagonal: Any,
+    terms: tuple[Any, ...],
+    xp: ModuleType,
+) -> Any:
     """Shared fused evaluation core: ``rows @ (diag(diagonal) + sum terms)``.
 
     *terms* is a sequence of ``(scale_groups, prepared_factors, gain)``
@@ -349,7 +363,9 @@ def _apply_terms(rows, dims, diagonal, terms, xp):
     return out
 
 
-def _device_terms(xp, diagonal, fused_terms) -> tuple:
+def _device_terms(
+    xp: ModuleType, diagonal: FloatArray, fused_terms: tuple[Any, ...]
+) -> tuple[Any, tuple[Any, ...]]:
     """Device copies of a fused term list: ``(diagonal, terms)`` in *xp*.
 
     Host arrays shared between terms map to one device array, so the
@@ -358,7 +374,7 @@ def _device_terms(xp, diagonal, fused_terms) -> tuple:
     """
     device_of: dict[int, object] = {}
 
-    def device(array):
+    def device(array: FloatArray) -> Any:
         copied = device_of.get(id(array))
         if copied is None:
             copied = xp.asarray(array)
@@ -399,9 +415,15 @@ class KroneckerGenerator:
         non-negative at construction.
     """
 
-    __array_ufunc__ = None  # make `ndarray @ operator` defer to __rmatmul__
+    __array_ufunc__: None = None  # make `ndarray @ operator` defer to __rmatmul__
 
-    def __init__(self, dims, terms, *, validate: bool = True):
+    def __init__(
+        self,
+        dims: Iterable[int],
+        terms: Iterable[KroneckerTerm],
+        *,
+        validate: bool = True,
+    ) -> None:
         self._dims = tuple(int(dim) for dim in dims)
         if not self._dims or any(dim < 1 for dim in self._dims):
             raise GeneratorError(f"factor dimensions must be positive, got {dims}")
@@ -451,9 +473,9 @@ class KroneckerGenerator:
         # shared-prefix memo of _apply_terms (keyed by identity) fires for
         # the per-battery terms, which all lead with the same current
         # profile but are built from distinct array copies.
-        canonical: dict[tuple, np.ndarray] = {}
+        canonical: dict[tuple[Any, ...], FloatArray] = {}
 
-        def canonicalised(array: np.ndarray) -> np.ndarray:
+        def canonicalised(array: FloatArray) -> FloatArray:
             key = (array.shape, array.dtype.str, array.tobytes())
             return canonical.setdefault(key, array)
 
@@ -467,7 +489,7 @@ class KroneckerGenerator:
         )
         self._diagonal = -self._off_diagonal_row_sums()
         self._nnz = self._implied_nnz()
-        self._device_cache: dict[str, tuple] = {}
+        self._device_cache: dict[str, tuple[Any, tuple[Any, ...]]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -497,7 +519,7 @@ class KroneckerGenerator:
         """
         return self._nnz
 
-    def diagonal(self) -> np.ndarray:
+    def diagonal(self) -> FloatArray:
         """The diagonal of the generator (negated off-diagonal row sums)."""
         return self._diagonal
 
@@ -513,7 +535,7 @@ class KroneckerGenerator:
         seen: set[int] = set()
         total = 0
 
-        def add(array) -> None:
+        def add(array: Any) -> None:
             nonlocal total
             if array is not None and id(array) not in seen:
                 seen.add(id(array))
@@ -535,7 +557,12 @@ class KroneckerGenerator:
         return total
 
     # ------------------------------------------------------------------
-    def _term_row_vector(self, term: KroneckerTerm, per_factor, per_scale=None) -> np.ndarray:
+    def _term_row_vector(
+        self,
+        term: KroneckerTerm,
+        per_factor: Callable[[sp.csr_matrix], Any],
+        per_scale: Callable[[FloatArray], FloatArray] | None = None,
+    ) -> FloatArray:
         """Broadcast-evaluate ``scales * prod_axis per_factor(matrix)`` row-wise.
 
         *per_factor* maps each factor matrix to a per-row vector (its row
@@ -556,7 +583,7 @@ class KroneckerGenerator:
             full = full * vector.reshape(shape)
         return np.broadcast_to(full, self._dims).ravel()
 
-    def _off_diagonal_row_sums(self) -> np.ndarray:
+    def _off_diagonal_row_sums(self) -> FloatArray:
         total = np.zeros(self._n)
         for term in self._terms:
             total += self._term_row_vector(
@@ -575,7 +602,7 @@ class KroneckerGenerator:
         return int(round(entries)) + int(np.count_nonzero(self._diagonal))
 
     # ------------------------------------------------------------------
-    def _device_state(self, xp) -> tuple:
+    def _device_state(self, xp: ModuleType) -> tuple[Any, tuple[Any, ...]]:
         """``(diagonal, fused_terms)`` in namespace *xp* (cached per device).
 
         numpy gets the host arrays directly; other namespaces get device
@@ -591,7 +618,7 @@ class KroneckerGenerator:
             self._device_cache[key] = state
         return state
 
-    def apply(self, block):
+    def apply(self, block: Any) -> Any:
         """Evaluate ``block @ Q`` for a vector ``(n,)`` or a block ``(K, n)``.
 
         The result lives in the namespace of *block*: numpy blocks stay on
@@ -611,7 +638,7 @@ class KroneckerGenerator:
         out = _apply_terms(rows, self._dims, diagonal, terms, xp)
         return out[0] if squeeze else out
 
-    def __rmatmul__(self, other):
+    def __rmatmul__(self, other: Any) -> Any:
         return self.apply(other)
 
     # ------------------------------------------------------------------
@@ -691,15 +718,17 @@ class UniformizedOperator:
     scalar multiplications).
     """
 
-    __array_ufunc__ = None
+    __array_ufunc__: None = None
 
-    def __init__(self, generator: KroneckerGenerator, rate: float, *, fused: bool = True):
+    def __init__(
+        self, generator: KroneckerGenerator, rate: float, *, fused: bool = True
+    ) -> None:
         if rate <= 0.0:
             raise GeneratorError(f"uniformisation rate must be positive, got {rate}")
         self._generator = generator
         self._rate = float(rate)
         self._fused = bool(fused)
-        self._device_cache: dict[str, tuple] = {}
+        self._device_cache: dict[str, tuple[Any, tuple[Any, ...]]] = {}
         if self._fused:
             gain = 1.0 / self._rate
             self._diag_p = 1.0 + generator.diagonal() * gain
@@ -732,7 +761,7 @@ class UniformizedOperator:
         """The wrapped matrix-free generator."""
         return self._generator
 
-    def _device_state(self, xp) -> tuple:
+    def _device_state(self, xp: ModuleType) -> tuple[Any, tuple[Any, ...]]:
         if xp is np:
             return self._diag_p, self._fused_terms
         key = xp.__name__
@@ -742,7 +771,7 @@ class UniformizedOperator:
             self._device_cache[key] = state
         return state
 
-    def apply(self, block):
+    def apply(self, block: Any) -> Any:
         """Evaluate ``block @ P`` for a vector ``(n,)`` or a block ``(K, n)``."""
         xp = array_namespace(block)
         array = np.asarray(block, dtype=float) if xp is np else block
@@ -760,5 +789,5 @@ class UniformizedOperator:
         out = _apply_terms(rows, self._generator.dims, diagonal, terms, xp)
         return out[0] if squeeze else out
 
-    def __rmatmul__(self, other):
+    def __rmatmul__(self, other: Any) -> Any:
         return self.apply(other)

@@ -11,9 +11,15 @@ sampling.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.linalg
+
+from repro.checking.protocols import FloatArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy.typing as npt
 
 __all__ = [
     "PhaseTypeDistribution",
@@ -40,8 +46,8 @@ class PhaseTypeDistribution:
         non-positive; the deficit is the absorption rate of each phase).
     """
 
-    alpha: np.ndarray
-    subgenerator: np.ndarray
+    alpha: FloatArray
+    subgenerator: FloatArray
 
     def __post_init__(self) -> None:
         alpha = np.asarray(self.alpha, dtype=float).ravel()
@@ -67,11 +73,11 @@ class PhaseTypeDistribution:
         return self.alpha.size
 
     @property
-    def exit_vector(self) -> np.ndarray:
+    def exit_vector(self) -> FloatArray:
         """Absorption rate of every phase (``t0 = -T 1``)."""
         return -self.subgenerator.sum(axis=1)
 
-    def cdf(self, x) -> np.ndarray:
+    def cdf(self, x: npt.ArrayLike) -> FloatArray | float:
         """Distribution function ``Pr{X <= x}`` (vectorised in *x*)."""
         x_array = np.atleast_1d(np.asarray(x, dtype=float))
         values = np.empty_like(x_array)
@@ -85,7 +91,7 @@ class PhaseTypeDistribution:
         values = np.clip(values, 0.0, 1.0)
         return values if np.ndim(x) else float(values[0])
 
-    def pdf(self, x) -> np.ndarray:
+    def pdf(self, x: npt.ArrayLike) -> FloatArray | float:
         """Probability density (vectorised in *x*)."""
         x_array = np.atleast_1d(np.asarray(x, dtype=float))
         values = np.empty_like(x_array)
@@ -117,7 +123,7 @@ class PhaseTypeDistribution:
         """Variance."""
         return self.moment(2) - self.mean**2
 
-    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+    def sample(self, rng: np.random.Generator, size: int = 1) -> FloatArray:
         """Draw *size* samples by simulating the absorbing CTMC."""
         exit_rates = self.exit_vector
         total_rates = -np.diag(self.subgenerator)
@@ -171,7 +177,9 @@ def erlang(k: int, rate: float) -> PhaseTypeDistribution:
     return PhaseTypeDistribution(alpha=alpha, subgenerator=matrix)
 
 
-def hyperexponential(probabilities, rates) -> PhaseTypeDistribution:
+def hyperexponential(
+    probabilities: npt.ArrayLike, rates: npt.ArrayLike
+) -> PhaseTypeDistribution:
     """Hyper-exponential distribution (probabilistic mixture of exponentials)."""
     probabilities = np.asarray(probabilities, dtype=float)
     rates = np.asarray(rates, dtype=float)

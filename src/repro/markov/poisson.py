@@ -27,8 +27,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checking import FloatArray
 
 __all__ = [
     "PoissonWeights",
@@ -61,7 +65,7 @@ class PoissonWeights:
 
     left: int
     right: int
-    weights: np.ndarray
+    weights: FloatArray
     rate: float
 
     def __len__(self) -> int:
@@ -283,7 +287,7 @@ def shared_poisson_windows(
     return tuple(windows)
 
 
-def poisson_cache_diagnostics() -> dict:
+def poisson_cache_diagnostics() -> dict[str, int]:
     """Hit/miss/size counters of the Poisson weight caches.
 
     One flat dict combining the per-window memo

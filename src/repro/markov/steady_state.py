@@ -8,15 +8,23 @@ simple model (Section 4.3), and to compute mean discharge currents.
 
 from __future__ import annotations
 
-import numpy as np
-import scipy.sparse as sp
+from typing import TYPE_CHECKING
 
+import numpy as np
+
+from repro.checking.dense import dense_fallback
+from repro.checking.protocols import FloatArray
 from repro.markov.generator import validate_generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checking.protocols import GeneratorLike
 
 __all__ = ["steady_state_distribution"]
 
 
-def steady_state_distribution(generator, *, validate: bool = True) -> np.ndarray:
+def steady_state_distribution(
+    generator: GeneratorLike, *, validate: bool = True
+) -> FloatArray:
     """Return the stationary distribution ``pi`` with ``pi Q = 0``.
 
     Parameters
@@ -34,10 +42,7 @@ def steady_state_distribution(generator, *, validate: bool = True) -> np.ndarray
     numpy.ndarray
         Probability vector of length ``n_states``.
     """
-    if sp.issparse(generator):
-        matrix = generator.toarray()
-    else:
-        matrix = np.asarray(generator, dtype=float)
+    matrix = dense_fallback(generator)
     if validate:
         validate_generator(matrix)
     n = matrix.shape[0]

@@ -9,11 +9,19 @@ probabilities which are needed for expected accumulated rewards.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 import scipy.linalg
-import scipy.sparse as sp
 
+from repro.checking.dense import dense_fallback
+from repro.checking.protocols import FloatArray
 from repro.markov.uniformization import uniformized_transient
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy.typing as npt
+
+    from repro.checking.protocols import GeneratorLike
 
 __all__ = [
     "expm_transient",
@@ -23,13 +31,13 @@ __all__ = [
 
 
 def transient_distribution(
-    generator,
-    initial_distribution,
-    times,
+    generator: GeneratorLike,
+    initial_distribution: npt.ArrayLike,
+    times: npt.ArrayLike,
     *,
     epsilon: float = 1e-10,
     validate: bool = True,
-) -> np.ndarray:
+) -> FloatArray:
     """Return transient state distributions at the given time points.
 
     This is a thin convenience wrapper around
@@ -46,28 +54,27 @@ def transient_distribution(
     return result.distributions
 
 
-def expm_transient(generator, initial_distribution, time: float) -> np.ndarray:
+def expm_transient(
+    generator: GeneratorLike, initial_distribution: npt.ArrayLike, time: float
+) -> FloatArray:
     """Reference transient solution via the dense matrix exponential.
 
     Only intended for small chains (tests and cross-validation); the
     uniformisation-based solver is the production path.
     """
-    if sp.issparse(generator):
-        dense = generator.toarray()
-    else:
-        dense = np.asarray(generator, dtype=float)
+    dense = dense_fallback(generator)
     alpha = np.asarray(initial_distribution, dtype=float).ravel()
     return alpha @ scipy.linalg.expm(dense * float(time))
 
 
 def cumulative_state_probabilities(
-    generator,
-    initial_distribution,
+    generator: GeneratorLike,
+    initial_distribution: npt.ArrayLike,
     time: float,
     *,
     n_points: int = 257,
     epsilon: float = 1e-10,
-) -> np.ndarray:
+) -> FloatArray:
     """Return :math:`\\int_0^t \\pi_i(s)\\,ds` for every state ``i``.
 
     The integral is evaluated with the composite trapezoidal rule over a

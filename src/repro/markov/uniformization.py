@@ -55,10 +55,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.checking.protocols import FloatArray
 from repro.markov import kernels
 from repro.markov.generator import as_csr, validate_generator
 from repro.markov.kernels import KERNEL_CHOICES
@@ -73,6 +75,14 @@ from repro.markov.poisson import (
     shared_poisson_windows,
     truncation_points,
 )
+from repro.markov.validate import check_generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from types import ModuleType
+
+    import numpy.typing as npt
+
+    from repro.checking.protocols import GeneratorLike
 
 __all__ = [
     "BatchTransientResult",
@@ -126,18 +136,18 @@ class UniformizationResult:
         Global product count at which convergence was detected.
     """
 
-    times: np.ndarray
-    distributions: np.ndarray
+    times: FloatArray
+    distributions: FloatArray
     rate: float
     iterations: int
-    truncation_error: np.ndarray
+    truncation_error: FloatArray
     mode: str = "incremental"
     kernel: str = "scipy"
     iterations_saved: int = 0
     steady_state_time: float | None = None
     steady_state_iteration: int | None = None
 
-    def at(self, time: float) -> np.ndarray:
+    def at(self, time: float) -> FloatArray:
         """Return the distribution computed for time point *time*."""
         matches = np.nonzero(np.isclose(self.times, time))[0]
         if matches.size == 0:
@@ -183,11 +193,11 @@ class BatchTransientResult:
         Global product count at which convergence was detected, or ``None``.
     """
 
-    times: np.ndarray
-    values: np.ndarray
+    times: FloatArray
+    values: FloatArray
     rate: float
     iterations: int
-    truncation_error: np.ndarray
+    truncation_error: FloatArray
     mode: str = "incremental"
     kernel: str = "scipy"
     n_segments: int = 0
@@ -196,7 +206,9 @@ class BatchTransientResult:
     steady_state_iteration: int | None = None
 
 
-def uniformization_rate(generator, *, safety: float = RATE_SAFETY_FACTOR) -> float:
+def uniformization_rate(
+    generator: GeneratorLike, *, safety: float = RATE_SAFETY_FACTOR
+) -> float:
     """Return a uniformisation rate for *generator*.
 
     The rate is the maximal exit rate multiplied by a small safety factor.
@@ -250,13 +262,13 @@ class TransientPropagator:
 
     def __init__(
         self,
-        generator,
+        generator: GeneratorLike,
         *,
         rate: float | None = None,
         validate: bool = True,
         kernel: str = "auto",
-        xp=None,
-    ):
+        xp: ModuleType | None = None,
+    ) -> None:
         self._matrix_free = isinstance(generator, KroneckerGenerator)
         if self._matrix_free:
             # Matrix-free chains stay operators end-to-end: validation is
@@ -287,6 +299,10 @@ class TransientPropagator:
                     f"uniformisation rate {rate} is smaller than the maximal exit "
                     f"rate {max_exit}"
                 )
+        # REPRO_CHECKS contract hook: in "off" mode this is one dict
+        # lookup; "warn"/"strict" run the full structural validator
+        # (including uniformisation-rate dominance) on every propagator.
+        check_generator(self._generator, rate=self._rate)
         if self._matrix_free:
             self._probability_matrix = UniformizedOperator(matrix, self._rate)
         else:
@@ -306,7 +322,7 @@ class TransientPropagator:
 
     # ------------------------------------------------------------------
     @property
-    def generator(self):
+    def generator(self) -> GeneratorLike:
         """The generator: the CSR matrix used internally, or the operator.
 
         Matrix-free chains (a
@@ -321,7 +337,7 @@ class TransientPropagator:
         return self._matrix_free
 
     @property
-    def probability_matrix(self):
+    def probability_matrix(self) -> sp.csr_matrix | UniformizedOperator:
         """The uniformised DTMC matrix ``P = I + Q/rate`` (CSR or operator)."""
         return self._probability_matrix
 
@@ -346,7 +362,7 @@ class TransientPropagator:
         return int(self._generator.shape[0])
 
     # ------------------------------------------------------------------
-    def _check_initials(self, alphas: np.ndarray) -> None:
+    def _check_initials(self, alphas: FloatArray) -> None:
         if alphas.shape[1] != self.n_states:
             raise ValueError(
                 f"initial distribution has {alphas.shape[1]} entries but the "
@@ -361,13 +377,15 @@ class TransientPropagator:
                 raise ValueError("initial distribution has negative entries")
 
     @staticmethod
-    def _windows(rate: float, times: np.ndarray, epsilon: float) -> list[PoissonWeights]:
+    def _windows(rate: float, times: FloatArray, epsilon: float) -> list[PoissonWeights]:
         # One shared, tilted weight table for the whole grid instead of a
         # per-window Fox--Glynn recursion; see shared_poisson_windows.
         rates = tuple(rate * float(t) for t in times)
         return list(shared_poisson_windows(rates, float(epsilon)))
 
-    def _allocate(self, n_batch: int, n_times: int, n_states: int, proj) -> np.ndarray:
+    def _allocate(
+        self, n_batch: int, n_times: int, n_states: int, proj: FloatArray | None
+    ) -> FloatArray:
         if proj is None:
             return self._xp.zeros((n_batch, n_times, n_states))
         if proj.ndim == 1:
@@ -375,17 +393,22 @@ class TransientPropagator:
         return self._xp.zeros((n_batch, n_times, proj.shape[1]))
 
     @staticmethod
-    def _store(results: np.ndarray, index, block: np.ndarray, proj) -> None:
+    def _store(
+        results: FloatArray,
+        index: int | FloatArray,
+        block: FloatArray,
+        proj: FloatArray | None,
+    ) -> None:
         """Write the (projected) *block* into the time slot(s) *index*."""
         results[:, index] = block if proj is None else block @ proj
 
     def transient(
         self,
-        initial_distribution,
-        times,
+        initial_distribution: npt.ArrayLike,
+        times: npt.ArrayLike,
         *,
         epsilon: float = 1e-10,
-        callback=None,
+        callback: Callable[[int, int], None] | None = None,
         mode: str = "incremental",
         steady_state_tol: float | None = None,
     ) -> UniformizationResult:
@@ -414,12 +437,12 @@ class TransientPropagator:
 
     def transient_batch(
         self,
-        initial_distributions,
-        times,
+        initial_distributions: npt.ArrayLike,
+        times: npt.ArrayLike,
         *,
         epsilon: float = 1e-10,
-        projection=None,
-        callback=None,
+        projection: npt.ArrayLike | None = None,
+        callback: Callable[[int, int], None] | None = None,
         mode: str = "incremental",
         steady_state_tol: float | None = None,
     ) -> BatchTransientResult:
@@ -524,7 +547,14 @@ class TransientPropagator:
         )
 
     # ------------------------------------------------------------------
-    def _single_pass(self, alphas, unique_times, epsilon, proj, callback):
+    def _single_pass(
+        self,
+        alphas: FloatArray,
+        unique_times: FloatArray,
+        epsilon: float,
+        proj: FloatArray | None,
+        callback: Callable[[int, int], None] | None,
+    ) -> _SolvedGrid:
         """One shared sweep ``v_n = alpha P^n`` feeding every time window."""
         n_batch = alphas.shape[0]
         windows = self._windows(self._rate, unique_times, epsilon)
@@ -574,7 +604,15 @@ class TransientPropagator:
             truncation_error=truncation_error,
         )
 
-    def _incremental(self, alphas, unique_times, epsilon, proj, callback, steady_state_tol):
+    def _incremental(
+        self,
+        alphas: FloatArray,
+        unique_times: FloatArray,
+        epsilon: float,
+        proj: FloatArray | None,
+        callback: Callable[[int, int], None] | None,
+        steady_state_tol: float | None,
+    ) -> _SolvedGrid:
         """Chain segments ``pi(t_{j-1}) -> pi(t_j)`` with steady-state detection."""
         n_batch = alphas.shape[0]
         n_times = unique_times.size
@@ -655,11 +693,11 @@ class TransientPropagator:
             # The segment's products, weighted accumulation and
             # steady-state change tracking all run inside the selected
             # kernel (one fused jitted call on the compiled path).
-            progress = None
+            progress: Callable[[int], None] | None = None
             if callback is not None:
                 base = performed
 
-                def progress(in_segment: int, _base=base) -> None:
+                def progress(in_segment: int, _base: int = base) -> None:
                     count = _base + in_segment
                     if (count - 1) % 1000 == 0:
                         callback(count - 1, estimated_total)
@@ -707,23 +745,23 @@ class TransientPropagator:
 class _SolvedGrid:
     """Internal carrier for a solve over the deduplicated, sorted grid."""
 
-    values: np.ndarray
+    values: FloatArray
     iterations: int
-    truncation_error: np.ndarray
+    truncation_error: FloatArray
     iterations_saved: int = 0
     steady_state_time: float | None = None
     steady_state_iteration: int | None = None
 
 
 def uniformized_transient(
-    generator,
-    initial_distribution,
-    times,
+    generator: GeneratorLike,
+    initial_distribution: npt.ArrayLike,
+    times: npt.ArrayLike,
     *,
     epsilon: float = 1e-10,
     rate: float | None = None,
     validate: bool = True,
-    callback=None,
+    callback: Callable[[int, int], None] | None = None,
     mode: str = "incremental",
     steady_state_tol: float | None = None,
     kernel: str = "auto",

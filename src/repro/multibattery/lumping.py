@@ -31,12 +31,19 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from itertools import combinations_with_replacement
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.discretization import _transfer_rates
 from repro.core.grid import RewardGrid
+from repro.markov.validate import check_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy.typing as npt
+
+    from repro.checking import FloatArray, IntArray
 
 __all__ = [
     "LumpedMultiBatterySystem",
@@ -51,7 +58,7 @@ def multiset_count(n_cells: int, n_batteries: int) -> int:
     return math.comb(n_cells + n_batteries - 1, n_batteries)
 
 
-def enumerate_configurations(n_cells: int, n_batteries: int) -> np.ndarray:
+def enumerate_configurations(n_cells: int, n_batteries: int) -> IntArray:
     """All sorted (ascending) charge configurations, shape ``(M, N)``.
 
     The rows are emitted in lexicographic order, which doubles as the
@@ -69,7 +76,7 @@ def enumerate_configurations(n_cells: int, n_batteries: int) -> np.ndarray:
     return configs.reshape(-1, n_batteries)
 
 
-def _colex_ranks(configs: np.ndarray, binomial: np.ndarray) -> np.ndarray:
+def _colex_ranks(configs: IntArray, binomial: IntArray) -> IntArray:
     """Colexicographic rank of each sorted configuration row.
 
     Mapping a sorted multiset ``c_0 <= ... <= c_{N-1}`` to the strictly
@@ -83,7 +90,7 @@ def _colex_ranks(configs: np.ndarray, binomial: np.ndarray) -> np.ndarray:
     return binomial[lifted, offsets + 1].sum(axis=1)
 
 
-def _binomial_table(n_max: int, k_max: int) -> np.ndarray:
+def _binomial_table(n_max: int, k_max: int) -> IntArray:
     """Pascal-triangle table ``C(n, k)`` for ``n <= n_max``, ``k <= k_max``."""
     table = np.zeros((n_max + 1, k_max + 1), dtype=np.int64)
     table[:, 0] = 1
@@ -93,7 +100,7 @@ def _binomial_table(n_max: int, k_max: int) -> np.ndarray:
     return table
 
 
-def discretize_lumped(system, delta: float) -> "LumpedMultiBatterySystem":
+def discretize_lumped(system: Any, delta: float) -> "LumpedMultiBatterySystem":
     """Build the exact symmetry quotient of *system*'s product chain.
 
     Raises :class:`ValueError` when the bank is not lumpable (heterogeneous
@@ -157,11 +164,15 @@ def discretize_lumped(system, delta: float) -> "LumpedMultiBatterySystem":
     consumable = np.arange(n_cells, dtype=np.int64) // n2 >= 1
     consumption_target = np.arange(n_cells, dtype=np.int64) - n2  # (j1-1, j2)
 
-    def slot_transitions(per_cell_mask, targets, slot_rates):
+    def slot_transitions(
+        per_cell_mask: npt.NDArray[np.bool_],
+        targets: IntArray,
+        slot_rates: FloatArray,
+    ) -> sp.csr_matrix:
         """COO triples for one transition family, emitted per battery slot."""
-        rows: list[np.ndarray] = []
-        cols: list[np.ndarray] = []
-        vals: list[np.ndarray] = []
+        rows: list[IntArray] = []
+        cols: list[IntArray] = []
+        vals: list[FloatArray] = []
         for b in range(n_batteries):
             cell = configs[:, b]
             mask = first_of_run[:, b] & per_cell_mask[cell] & (slot_rates[:, b] > 0.0)
@@ -230,7 +241,7 @@ def discretize_lumped(system, delta: float) -> "LumpedMultiBatterySystem":
 
     empty_states = np.nonzero(np.tile(failed, workload.n_states))[0]
 
-    return LumpedMultiBatterySystem(
+    chain = LumpedMultiBatterySystem(
         system=system,
         grid=grid,
         configurations=configs,
@@ -239,6 +250,8 @@ def discretize_lumped(system, delta: float) -> "LumpedMultiBatterySystem":
         empty_states=empty_states,
         failed_configurations=failed,
     )
+    check_chain(chain)
+    return chain
 
 
 @dataclass(frozen=True)
@@ -255,11 +268,11 @@ class LumpedMultiBatterySystem:
 
     system: object
     grid: RewardGrid
-    configurations: np.ndarray
+    configurations: IntArray
     generator: sp.csr_matrix
-    initial_distribution: np.ndarray
-    empty_states: np.ndarray
-    failed_configurations: np.ndarray
+    initial_distribution: FloatArray
+    empty_states: IntArray
+    failed_configurations: npt.NDArray[np.bool_]
     backend: str = "lumped"
 
     # ------------------------------------------------------------------
@@ -289,7 +302,9 @@ class LumpedMultiBatterySystem:
         """Maximal exit rate (identical to the unlumped chain's, by exactness)."""
         return float(np.max(-self.generator.diagonal(), initial=0.0))
 
-    def empty_probability(self, distributions: np.ndarray) -> np.ndarray:
+    def empty_probability(
+        self, distributions: npt.ArrayLike
+    ) -> FloatArray | float:
         """Sum the probability mass of the system-failed states."""
         distributions = np.asarray(distributions)
         if distributions.ndim == 1:

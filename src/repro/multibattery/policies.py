@@ -25,7 +25,17 @@ deliver the full workload current until the system itself fails.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    import numpy.typing as npt
+
+    from repro.battery.parameters import KiBaMParameters
+    from repro.checking import FloatArray
 
 __all__ = [
     "BestOfPolicy",
@@ -56,12 +66,14 @@ class SchedulingPolicy:
         """Number of phase-clock states added to the product space."""
         return 1
 
-    def phase_generator(self, n_batteries: int) -> np.ndarray:
+    def phase_generator(self, n_batteries: int) -> FloatArray:
         """Generator matrix of the phase clock (zeros for a single phase)."""
         n_phases = self.n_phases(n_batteries)
         return np.zeros((n_phases, n_phases))
 
-    def routing_weights(self, levels: np.ndarray, alive: np.ndarray) -> np.ndarray:
+    def routing_weights(
+        self, levels: FloatArray, alive: npt.NDArray[np.bool_]
+    ) -> FloatArray:
         """Return the per-battery routing weights for every configuration.
 
         Parameters
@@ -85,7 +97,9 @@ class SchedulingPolicy:
         """
         raise NotImplementedError
 
-    def control_interval(self, batteries, max_current: float) -> float | None:
+    def control_interval(
+        self, batteries: Iterable[KiBaMParameters], max_current: float
+    ) -> float | None:
         """Upper bound on the simulator's policy re-evaluation interval.
 
         ``None`` means the policy only needs re-evaluation at workload,
@@ -106,7 +120,7 @@ class SchedulingPolicy:
         """
         return False
 
-    def key(self) -> tuple:
+    def key(self) -> tuple[Any, ...]:
         """Hashable fingerprint of the policy (name and parameters)."""
         return (self.name,)
 
@@ -114,7 +128,9 @@ class SchedulingPolicy:
         return f"{type(self).__name__}{self.key()[1:]!r}"
 
 
-def _renormalized(weights: np.ndarray, alive: np.ndarray) -> np.ndarray:
+def _renormalized(
+    weights: FloatArray, alive: npt.NDArray[np.bool_]
+) -> FloatArray:
     """Zero the weights of depleted batteries and renormalise the rows."""
     weights = np.where(alive, weights, 0.0)
     totals = weights.sum(axis=-1, keepdims=True)
@@ -132,16 +148,16 @@ class StaticSplitPolicy(SchedulingPolicy):
 
     name = "static-split"
 
-    def __init__(self, weights=None):
+    def __init__(self, weights: npt.ArrayLike | None = None) -> None:
         if weights is None:
-            self._weights = None
+            self._weights: FloatArray | None = None
         else:
             array = np.asarray(weights, dtype=float).ravel()
             if array.size == 0 or np.any(array < 0.0) or array.sum() <= 0.0:
                 raise ValueError("static-split weights must be non-negative with a positive sum")
             self._weights = array / array.sum()
 
-    def split_weights(self, n_batteries: int) -> np.ndarray:
+    def split_weights(self, n_batteries: int) -> FloatArray:
         """The normalised split over *n_batteries* batteries."""
         if self._weights is None:
             return np.full(n_batteries, 1.0 / n_batteries)
@@ -152,7 +168,9 @@ class StaticSplitPolicy(SchedulingPolicy):
             )
         return self._weights
 
-    def routing_weights(self, levels: np.ndarray, alive: np.ndarray) -> np.ndarray:
+    def routing_weights(
+        self, levels: FloatArray, alive: npt.NDArray[np.bool_]
+    ) -> FloatArray:
         split = self.split_weights(alive.shape[-1])
         weights = np.broadcast_to(split, alive.shape)
         return _renormalized(weights, alive)[None, ...]
@@ -166,8 +184,12 @@ class StaticSplitPolicy(SchedulingPolicy):
             and np.all(self._weights == self._weights[0])
         )
 
-    def key(self) -> tuple:
-        weights = None if self._weights is None else tuple(float(w) for w in self._weights)
+    def key(self) -> tuple[Any, ...]:
+        weights = (
+            None
+            if self._weights is None
+            else tuple(float(w) for w in self._weights)
+        )
         return (self.name, weights)
 
 
@@ -183,7 +205,7 @@ class RoundRobinPolicy(SchedulingPolicy):
 
     name = "round-robin"
 
-    def __init__(self, switch_rate: float = DEFAULT_SWITCH_RATE):
+    def __init__(self, switch_rate: float = DEFAULT_SWITCH_RATE) -> None:
         if switch_rate <= 0.0:
             raise ValueError("the round-robin switch rate must be positive")
         self.switch_rate = float(switch_rate)
@@ -191,7 +213,7 @@ class RoundRobinPolicy(SchedulingPolicy):
     def n_phases(self, n_batteries: int) -> int:
         return int(n_batteries)
 
-    def phase_generator(self, n_batteries: int) -> np.ndarray:
+    def phase_generator(self, n_batteries: int) -> FloatArray:
         n = int(n_batteries)
         generator = np.zeros((n, n))
         if n > 1:
@@ -200,7 +222,9 @@ class RoundRobinPolicy(SchedulingPolicy):
                 generator[phase, phase] = -self.switch_rate
         return generator
 
-    def routing_weights(self, levels: np.ndarray, alive: np.ndarray) -> np.ndarray:
+    def routing_weights(
+        self, levels: FloatArray, alive: npt.NDArray[np.bool_]
+    ) -> FloatArray:
         n_batteries = alive.shape[-1]
         weights = np.zeros((n_batteries,) + alive.shape)
         for phase in range(n_batteries):
@@ -215,7 +239,7 @@ class RoundRobinPolicy(SchedulingPolicy):
             weights[(phase,) + rows + (target[rows],)] = 1.0
         return weights
 
-    def key(self) -> tuple:
+    def key(self) -> tuple[Any, ...]:
         return (self.name, float(self.switch_rate))
 
 
@@ -231,19 +255,23 @@ class BestOfPolicy(SchedulingPolicy):
 
     name = "best-of"
 
-    def __init__(self, tie_tolerance: float = 1e-9):
+    def __init__(self, tie_tolerance: float = 1e-9) -> None:
         if tie_tolerance < 0.0:
             raise ValueError("the tie tolerance must be non-negative")
         self.tie_tolerance = float(tie_tolerance)
 
-    def routing_weights(self, levels: np.ndarray, alive: np.ndarray) -> np.ndarray:
+    def routing_weights(
+        self, levels: FloatArray, alive: npt.NDArray[np.bool_]
+    ) -> FloatArray:
         levels = np.asarray(levels, dtype=float)
         masked = np.where(alive, levels, -np.inf)
         best = masked.max(axis=-1, keepdims=True)
         leaders = alive & (masked >= best - self.tie_tolerance)
         return _renormalized(leaders.astype(float), alive)[None, ...]
 
-    def control_interval(self, batteries, max_current: float) -> float | None:
+    def control_interval(
+        self, batteries: Iterable[KiBaMParameters], max_current: float
+    ) -> float | None:
         # Re-evaluate often enough that at most ~0.5% of the smallest
         # available well can drain between decisions: the simulated routing
         # then tracks the charge ordering as tightly as the product chain.
@@ -256,7 +284,7 @@ class BestOfPolicy(SchedulingPolicy):
         """Routing by charge ordering alone is invariant under permutations."""
         return True
 
-    def key(self) -> tuple:
+    def key(self) -> tuple[Any, ...]:
         return (self.name, float(self.tie_tolerance))
 
 
@@ -278,7 +306,7 @@ def register_policy(policy_class: type[SchedulingPolicy], *, replace: bool = Fal
     _REGISTRY[name] = policy_class
 
 
-def get_policy(policy, **params) -> SchedulingPolicy:
+def get_policy(policy: SchedulingPolicy | str, **params: Any) -> SchedulingPolicy:
     """Resolve *policy* to a :class:`SchedulingPolicy` instance.
 
     Instances pass through unchanged (then *params* must be empty); string

@@ -24,6 +24,7 @@ so the whole engine stack applies unchanged:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -31,6 +32,11 @@ from repro.battery.parameters import KiBaMParameters
 from repro.engine.problem import LifetimeProblem
 from repro.multibattery.policies import SchedulingPolicy, get_policy
 from repro.multibattery.system import BACKENDS, MultiBatterySystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    from repro.checking import FloatArray
 
 __all__ = ["MultiBatteryProblem", "DEFAULT_MULTI_LEVELS"]
 
@@ -80,11 +86,14 @@ class MultiBatteryProblem(LifetimeProblem):
         cross-check runs between backends need distinct caches.
     """
 
-    battery: KiBaMParameters | None = None
-    times: np.ndarray | None = None
+    # The bank widens the inherited scalar fields to optional: the first
+    # battery mirrors into ``battery`` for engine compatibility and the time
+    # grid is defaulted in ``__post_init__``.
+    battery: KiBaMParameters | None = None  # type: ignore[assignment]
+    times: FloatArray | None = None  # type: ignore[assignment]
     batteries: tuple[KiBaMParameters, ...] = ()
     policy: str | SchedulingPolicy = "static-split"
-    policy_params: dict = field(default_factory=dict, compare=False)
+    policy_params: dict[str, Any] = field(default_factory=dict, compare=False)
     failures_to_die: int | None = None
     backend: str = "auto"
 
@@ -210,7 +219,7 @@ class MultiBatteryProblem(LifetimeProblem):
         return self.estimated_mrm_states(step)
 
     # ------------------------------------------------------------------
-    def chain_key(self) -> tuple:
+    def chain_key(self) -> tuple[Any, ...]:
         """Cache key identifying the product chain this problem assembles.
 
         Covers the workload, every battery of the bank, the step size, the
@@ -237,12 +246,18 @@ class MultiBatteryProblem(LifetimeProblem):
             "a multi-battery problem has a bank of batteries; use with_batteries"
         )
 
-    def with_batteries(self, batteries) -> "MultiBatteryProblem":
+    def with_batteries(
+        self, batteries: Iterable[KiBaMParameters]
+    ) -> "MultiBatteryProblem":
         """Return a copy with a different battery bank."""
         batteries = tuple(batteries)
-        return replace(self, batteries=batteries, battery=batteries[0] if batteries else None)
+        return replace(
+            self, batteries=batteries, battery=batteries[0] if batteries else None
+        )
 
-    def with_policy(self, policy, **policy_params) -> "MultiBatteryProblem":
+    def with_policy(
+        self, policy: str | SchedulingPolicy, **policy_params: Any
+    ) -> "MultiBatteryProblem":
         """Return a copy scheduled by a different policy."""
         return replace(self, policy=policy, policy_params=policy_params)
 

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
@@ -61,8 +62,14 @@ from repro.core.discretization import _transfer_rates
 from repro.core.grid import RewardGrid
 from repro.markov.generator import kron_chain
 from repro.markov.kronecker import KroneckerGenerator, KroneckerTerm
+from repro.markov.validate import check_chain
 from repro.multibattery.policies import SchedulingPolicy, get_policy
 from repro.workload.base import WorkloadModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy.typing as npt
+
+    from repro.checking import FloatArray, IntArray
 
 __all__ = [
     "BACKENDS",
@@ -123,7 +130,7 @@ def _transfer_matrix(grid: RewardGrid, battery: KiBaMParameters) -> sp.csr_matri
     return sp.csr_matrix((rates, (rows, cols)), shape=(grid.n_cells, grid.n_cells))
 
 
-def _off_diagonal(generator: np.ndarray) -> np.ndarray:
+def _off_diagonal(generator: FloatArray) -> FloatArray:
     """The non-negative off-diagonal part of a small dense generator."""
     off = np.asarray(generator, dtype=float).copy()
     np.fill_diagonal(off, 0.0)
@@ -136,17 +143,17 @@ class _ProductMetadata:
 
     grids: tuple[RewardGrid, ...]
     cells: tuple[int, ...]
-    strides: np.ndarray
+    strides: IntArray
     n_aux: int
     n_cells: int
     n_states: int
-    levels: np.ndarray
-    alive: np.ndarray
-    failed_cells: np.ndarray
-    weights: np.ndarray
-    currents_aux: np.ndarray
-    initial_distribution: np.ndarray
-    empty_states: np.ndarray
+    levels: IntArray
+    alive: npt.NDArray[np.bool_]
+    failed_cells: npt.NDArray[np.bool_]
+    weights: FloatArray
+    currents_aux: FloatArray
+    initial_distribution: FloatArray
+    empty_states: IntArray
 
 
 @dataclass(frozen=True)
@@ -384,7 +391,7 @@ class MultiBatterySystem:
             generator = self._matrix_free_generator(metadata, delta)
         else:
             generator = self._assembled_generator(metadata, delta)
-        return DiscretizedMultiBatterySystem(
+        chain = DiscretizedMultiBatterySystem(
             system=self,
             grids=metadata.grids,
             generator=generator,
@@ -394,6 +401,8 @@ class MultiBatterySystem:
             failed_cells=metadata.failed_cells,
             backend=backend,
         )
+        check_chain(chain)
+        return chain
 
     def _assembled_generator(
         self, metadata: _ProductMetadata, delta: float
@@ -528,10 +537,10 @@ class DiscretizedMultiBatterySystem:
     system: MultiBatterySystem
     grids: tuple[RewardGrid, ...]
     generator: sp.csr_matrix | KroneckerGenerator
-    initial_distribution: np.ndarray
-    empty_states: np.ndarray
-    levels: np.ndarray
-    failed_cells: np.ndarray
+    initial_distribution: FloatArray
+    empty_states: IntArray
+    levels: IntArray
+    failed_cells: npt.NDArray[np.bool_]
     backend: str = "assembled"
 
     # ------------------------------------------------------------------
@@ -560,14 +569,18 @@ class DiscretizedMultiBatterySystem:
         """Maximal exit rate of the product chain (before the safety factor)."""
         return float(np.max(-self.generator.diagonal(), initial=0.0))
 
-    def empty_probability(self, distributions: np.ndarray) -> np.ndarray:
+    def empty_probability(
+        self, distributions: npt.ArrayLike
+    ) -> FloatArray | float:
         """Sum the probability mass of the system-failed states."""
         distributions = np.asarray(distributions)
         if distributions.ndim == 1:
             return float(distributions[self.empty_states].sum())
         return distributions[:, self.empty_states].sum(axis=1)
 
-    def battery_alive_probability(self, distribution: np.ndarray, battery: int) -> float:
+    def battery_alive_probability(
+        self, distribution: npt.ArrayLike, battery: int
+    ) -> float:
         """Probability that battery *battery* still holds available charge."""
         distribution = np.asarray(distribution, dtype=float)
         n_aux = self.n_states // self.n_cells

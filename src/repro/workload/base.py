@@ -10,12 +10,20 @@ convert once at construction time.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.markov.ctmc import CTMC
 from repro.markov.generator import validate_generator
 from repro.markov.steady_state import steady_state_distribution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    import numpy.typing as npt
+
+    from repro.checking import FloatArray
 
 __all__ = ["WorkloadModel"]
 
@@ -39,9 +47,9 @@ class WorkloadModel:
     """
 
     state_names: tuple[str, ...]
-    generator: np.ndarray
-    currents: np.ndarray
-    initial_distribution: np.ndarray
+    generator: FloatArray
+    currents: FloatArray
+    initial_distribution: FloatArray
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -98,7 +106,7 @@ class WorkloadModel:
             state_names=list(self.state_names),
         )
 
-    def steady_state(self) -> np.ndarray:
+    def steady_state(self) -> FloatArray:
         """Return the stationary distribution of the workload CTMC."""
         return steady_state_distribution(self.generator, validate=False)
 
@@ -106,7 +114,9 @@ class WorkloadModel:
         """Return the long-run average current (A) under the stationary law."""
         return float(self.steady_state() @ self.currents)
 
-    def probability_in(self, names, distribution: np.ndarray | None = None) -> float:
+    def probability_in(
+        self, names: Iterable[str], distribution: npt.ArrayLike | None = None
+    ) -> float:
         """Return the probability mass of the named states.
 
         *distribution* defaults to the stationary distribution; pass a
@@ -124,7 +134,7 @@ class WorkloadModel:
         initial[self.state_index(name)] = 1.0
         return replace(self, initial_distribution=initial)
 
-    def with_currents(self, currents) -> "WorkloadModel":
+    def with_currents(self, currents: npt.ArrayLike) -> "WorkloadModel":
         """Return a copy with different per-state currents (amperes)."""
         return replace(self, currents=np.asarray(currents, dtype=float))
 

@@ -38,7 +38,7 @@ class WorkloadBuilder:
     2
     """
 
-    def __init__(self, *, time_unit: str = "seconds", description: str = ""):
+    def __init__(self, *, time_unit: str = "seconds", description: str = "") -> None:
         if time_unit not in ("seconds", "hours"):
             raise ValueError("time_unit must be 'seconds' or 'hours'")
         self._time_unit = time_unit

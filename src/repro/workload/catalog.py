@@ -10,6 +10,7 @@ drivers, sweep specifications and examples can select a workload by name
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import Any
 
 from repro.workload.base import WorkloadModel
 from repro.workload.burst import burst_workload
@@ -46,7 +47,7 @@ def register_workload(name: str, factory: Callable[..., WorkloadModel]) -> None:
     _CATALOG[name] = factory
 
 
-def get_workload(name: str, **kwargs) -> WorkloadModel:
+def get_workload(name: str, **kwargs: Any) -> WorkloadModel:
     """Instantiate the workload registered under *name*.
 
     Keyword arguments are forwarded to the factory (e.g.

@@ -12,8 +12,13 @@ for the on/off square wave, but with arbitrarily many unequal phases.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.workload.base import WorkloadModel
 from repro.workload.builder import WorkloadBuilder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
 
 __all__ = ["duty_cycle_workload"]
 
@@ -29,7 +34,7 @@ DEFAULT_ERLANG_K = 4
 
 
 def duty_cycle_workload(
-    tasks=DEFAULT_TASKS,
+    tasks: Iterable[tuple[str, float, float]] = DEFAULT_TASKS,
     *,
     erlang_k: int = DEFAULT_ERLANG_K,
     start_task: str | None = None,

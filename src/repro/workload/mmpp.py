@@ -19,10 +19,15 @@ arrival rate.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.workload.base import WorkloadModel
 from repro.workload.builder import WorkloadBuilder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Sequence
 
 __all__ = ["mmpp_workload"]
 
@@ -39,12 +44,12 @@ DEFAULT_SEND_CURRENT_MA = 200.0
 
 def mmpp_workload(
     *,
-    arrival_rates_per_hour=DEFAULT_ARRIVAL_RATES,
-    modulation_rates_per_hour=None,
+    arrival_rates_per_hour: Sequence[float] = DEFAULT_ARRIVAL_RATES,
+    modulation_rates_per_hour: Sequence[float] | None = None,
     send_rate_per_hour: float = DEFAULT_SEND_RATE,
     idle_current_ma: float = DEFAULT_IDLE_CURRENT_MA,
     send_current_ma: float = DEFAULT_SEND_CURRENT_MA,
-    phase_names=None,
+    phase_names: Sequence[str] | None = None,
 ) -> WorkloadModel:
     """Build an MMPP-modulated bursty transmission workload.
 

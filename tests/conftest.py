@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,14 @@ from repro.battery.parameters import KiBaMParameters, rao_battery_parameters
 from repro.workload.burst import burst_workload
 from repro.workload.onoff import onoff_workload
 from repro.workload.simple import simple_workload
+
+# Default the structural chain validators to ``warn`` for the whole suite
+# (CI exports ``REPRO_CHECKS=strict`` on top): a contract violation in a
+# chain construction surfaces as a ContractViolationWarning instead of
+# passing silently, without hard-failing tests that build deliberately
+# broken chains.  The mode is re-read on every check, so setting it here
+# covers every test regardless of import order.
+os.environ.setdefault("REPRO_CHECKS", "warn")
 
 
 @pytest.fixture
@@ -63,3 +73,12 @@ def three_state_generator() -> np.ndarray:
             [0.5, 0.5, -1.0],
         ]
     )
+
+
+@pytest.fixture
+def strict_checks():
+    """Run the enclosed code with ``REPRO_CHECKS=strict`` (violations raise)."""
+    from repro.checking import override_checks
+
+    with override_checks("strict"):
+        yield

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.battery.parameters import KiBaMParameters
+from repro.checking import dense_fallback
 from repro.core.discretization import discretize
 from repro.core.kibamrm import KiBaMRM
 from repro.markov.generator import validate_generator
@@ -55,7 +56,7 @@ class TestStructure:
 
     def test_empty_states_are_absorbing(self, small_two_well_model):
         discretized = discretize(small_two_well_model, delta=12.5)
-        generator = discretized.generator.toarray()
+        generator = dense_fallback(discretized.generator)
         for index in discretized.empty_states:
             assert np.allclose(generator[index], 0.0)
 
@@ -69,7 +70,7 @@ class TestTransitionRates:
     def test_consumption_rate_is_current_over_delta(self, small_single_well_model):
         delta = 10.0
         discretized = discretize(small_single_well_model, delta=delta)
-        generator = discretized.generator.toarray()
+        generator = dense_fallback(discretized.generator)
         grid = discretized.grid
         on_state = 0  # the on state draws 0.96 A
         source = int(grid.flat_index(on_state, 5, 0))
@@ -78,7 +79,7 @@ class TestTransitionRates:
 
     def test_workload_rates_are_copied(self, small_single_well_model):
         discretized = discretize(small_single_well_model, delta=10.0)
-        generator = discretized.generator.toarray()
+        generator = dense_fallback(discretized.generator)
         grid = discretized.grid
         source = int(grid.flat_index(0, 5, 0))
         target = int(grid.flat_index(1, 5, 0))
@@ -90,7 +91,7 @@ class TestTransitionRates:
         delta = 12.5
         battery = small_two_well_model.battery
         discretized = discretize(small_two_well_model, delta=delta)
-        generator = discretized.generator.toarray()
+        generator = dense_fallback(discretized.generator)
         grid = discretized.grid
         state, j1, j2 = 0, 2, 3
         source = int(grid.flat_index(state, j1, j2))
@@ -102,7 +103,7 @@ class TestTransitionRates:
     def test_no_transfer_when_available_higher(self, small_two_well_model):
         delta = 12.5
         discretized = discretize(small_two_well_model, delta=delta)
-        generator = discretized.generator.toarray()
+        generator = dense_fallback(discretized.generator)
         grid = discretized.grid
         # j1 = 4, j2 = 1: h1 = 4/0.625 = 6.4 > h2 = 1/0.375 = 2.67 -> no transfer.
         source = int(grid.flat_index(0, 4, 1))
@@ -111,7 +112,7 @@ class TestTransitionRates:
 
     def test_single_well_has_no_transfer_transitions(self, small_single_well_model):
         discretized = discretize(small_single_well_model, delta=10.0)
-        generator = discretized.generator.toarray()
+        generator = dense_fallback(discretized.generator)
         grid = discretized.grid
         # Any j1 -> j1+1 transition within the same workload state would be a transfer.
         for j1 in range(grid.n_levels1 - 1):

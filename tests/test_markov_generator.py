@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
+from repro.checking import dense_fallback
 from repro.markov.generator import (
     GeneratorError,
     build_generator,
@@ -27,7 +28,7 @@ class TestBuildGenerator:
         dense = build_generator(3, transitions)
         sparse = build_generator(3, transitions, sparse=True)
         assert sp.issparse(sparse)
-        assert np.allclose(sparse.toarray(), dense)
+        assert np.allclose(dense_fallback(sparse), dense)
 
     def test_duplicate_transitions_accumulate(self):
         generator = build_generator(2, [(0, 1, 1.0), (0, 1, 2.0)])

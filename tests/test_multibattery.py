@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.battery.parameters import KiBaMParameters
+from repro.checking import dense_fallback
 from repro.core.discretization import discretize
 from repro.core.grid import RewardGrid
 from repro.core.kibamrm import KiBaMRM
@@ -198,7 +199,7 @@ class TestProductAssembly:
         generator, initial, failed_states = enumerate_product_chain(system, delta)
 
         np.testing.assert_allclose(
-            chain.generator.toarray(), generator, atol=1e-12, rtol=1e-12
+            dense_fallback(chain.generator), generator, atol=1e-12, rtol=1e-12
         )
         np.testing.assert_array_equal(chain.initial_distribution, initial)
         np.testing.assert_array_equal(np.sort(chain.empty_states), failed_states)
@@ -218,7 +219,7 @@ class TestProductAssembly:
 
         assert product.n_states == single.n_states
         np.testing.assert_allclose(
-            product.generator.toarray(), single.generator.toarray(), atol=1e-12
+            dense_fallback(product.generator), dense_fallback(single.generator), atol=1e-12
         )
         np.testing.assert_array_equal(
             product.initial_distribution, single.initial_distribution

@@ -1,0 +1,1 @@
+"""Repository tooling (lint rules, CI helpers) -- not part of the library."""

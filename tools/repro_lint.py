@@ -1,0 +1,416 @@
+"""Repository-specific lint rules for the battery-lifetime codebase.
+
+Run as ``python -m tools.repro_lint src tests benchmarks``.  The checker is
+pure-AST (no imports of the code under inspection) so it works on any tree
+of Python files, including ones that would fail to import.
+
+Rules
+-----
+RPR001
+    No ``.toarray()`` / ``.todense()`` calls, and no ``np.asarray`` /
+    ``np.array`` applied to a discretized chain's ``generator``.  Chains in
+    this repository routinely have :math:`10^5`--:math:`10^6` states, so an
+    unguarded densification is a latent out-of-memory bug.  The single
+    sanctioned boundary is :func:`repro.checking.dense.dense_fallback`,
+    which enforces a size limit; that module is allowlisted.
+RPR002
+    No ``np.random.<fn>`` global-state calls (``np.random.seed``,
+    ``np.random.random``, ...).  Randomness must flow through explicit
+    ``numpy.random.Generator`` objects threaded via
+    ``repro.simulation.rng.spawn_seeds`` / ``make_rng`` so that sweeps are
+    reproducible and parallel-safe.  Constructing generators
+    (``np.random.default_rng``, ``np.random.SeedSequence``, ...) is allowed.
+RPR003
+    Every dataclass field on ``LifetimeProblem`` / ``MultiBatteryProblem``
+    / ``SweepSpec`` (or a subtype) must be declared either
+    fingerprint-relevant or fingerprint-exempt in
+    ``repro.checking.fingerprints.FINGERPRINT_FIELDS``.  The sweep cache is
+    keyed by those fingerprints; an undeclared field silently either
+    poisons the cache (stale hits) or defeats it (spurious misses).
+RPR004
+    String keys written into solver ``diagnostics`` mappings must come from
+    ``repro.engine.diagnostics.DIAGNOSTICS_SCHEMA``.  Downstream reporting
+    and the benchmark-regression tooling read these keys by name; a typo'd
+    key is invisible until a dashboard silently shows blanks.
+
+A line may opt out of a specific rule with an inline pragma::
+
+    dense = matrix.toarray()  # repro-lint: allow RPR001
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "RULES",
+    "Violation",
+    "lint_source",
+    "main",
+    "run_paths",
+]
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Files where RPR001 is allowed wholesale: the size-guarded densification
+# boundary itself.
+_RPR001_ALLOWED_FILES = ("src/repro/checking/dense.py",)
+
+# np.random attributes that construct explicit Generator machinery rather
+# than touching the global state.
+_RPR002_ALLOWED = frozenset(
+    {
+        "BitGenerator",
+        "Generator",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "SeedSequence",
+        "default_rng",
+    }
+)
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*allow\s+(RPR\d{3}(?:\s*,\s*RPR\d{3})*)")
+
+RULES = {
+    "RPR001": "unguarded densification of a chain-sized matrix",
+    "RPR002": "global-state numpy RNG call",
+    "RPR003": "dataclass field missing from the fingerprint registry",
+    "RPR004": "diagnostics key not in the shared schema",
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding: file, line, rule code and human-readable message."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+# ----------------------------------------------------------------------
+# Registry loading (pure literal eval -- never imports the package).
+# ----------------------------------------------------------------------
+
+
+def _load_literal(path: Path, name: str) -> object:
+    """Extract the pure-literal assignment *name* from the module at *path*."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                assert value is not None
+                return ast.literal_eval(value)
+    raise LookupError(f"no literal assignment to {name!r} in {path}")
+
+
+def _fingerprint_registry(root: Path) -> dict[str, dict[str, tuple[str, ...]]]:
+    raw = _load_literal(root / "src/repro/checking/fingerprints.py", "FINGERPRINT_FIELDS")
+    assert isinstance(raw, dict)
+    return raw
+
+
+def _diagnostics_schema(root: Path) -> frozenset[str]:
+    raw = _load_literal(root / "src/repro/engine/diagnostics.py", "DIAGNOSTICS_SCHEMA")
+    assert isinstance(raw, dict)
+    return frozenset(raw)
+
+
+# ----------------------------------------------------------------------
+# Per-file checker.
+# ----------------------------------------------------------------------
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        lines: Sequence[str],
+        *,
+        registry: dict[str, dict[str, tuple[str, ...]]],
+        diagnostic_keys: frozenset[str],
+        rpr001_allowed: bool,
+    ) -> None:
+        self.path = path
+        self.lines = lines
+        self.registry = registry
+        self.diagnostic_keys = diagnostic_keys
+        self.rpr001_allowed = rpr001_allowed
+        self.violations: list[Violation] = []
+
+    # -- helpers -------------------------------------------------------
+    def _pragma_allows(self, line: int, rule: str) -> bool:
+        if 1 <= line <= len(self.lines):
+            match = _PRAGMA.search(self.lines[line - 1])
+            if match and rule in {part.strip() for part in match.group(1).split(",")}:
+                return True
+        return False
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if self._pragma_allows(line, rule):
+            return
+        self.violations.append(Violation(self.path, line, rule, message))
+
+    @staticmethod
+    def _is_chain_generator(node: ast.expr) -> bool:
+        """True for ``<chain>.generator`` where the receiver is named like a
+        discretized chain (``chain``, ``lumped_chain``, ``self.chain`` ...).
+
+        Workload-level generators (``workload.generator`` and friends) are a
+        handful of states and dense by design; only discretized-chain
+        receivers carry the :math:`10^5`-plus state spaces this rule guards.
+        """
+        if not (isinstance(node, ast.Attribute) and node.attr == "generator"):
+            return False
+        base = node.value
+        if isinstance(base, ast.Name):
+            return "chain" in base.id.lower()
+        if isinstance(base, ast.Attribute):
+            return "chain" in base.attr.lower()
+        return False
+
+    @staticmethod
+    def _dotted(node: ast.expr) -> str | None:
+        """Render a Name/Attribute chain as a dotted path, else ``None``."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    # -- RPR001 / RPR002 ----------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in {"toarray", "todense"} and not self.rpr001_allowed:
+                self._report(
+                    node,
+                    "RPR001",
+                    f".{func.attr}() densifies a potentially chain-sized matrix; "
+                    "route through repro.checking.dense.dense_fallback (size-guarded) "
+                    "or add `# repro-lint: allow RPR001` with a bound argument",
+                )
+            dotted = self._dotted(func)
+            if dotted in {"np.asarray", "np.array", "numpy.asarray", "numpy.array"} and not self.rpr001_allowed:
+                if node.args and self._is_chain_generator(node.args[0]):
+                    self._report(
+                        node,
+                        "RPR001",
+                        f"{dotted}(<chain>.generator) densifies a chain generator; "
+                        "use repro.checking.dense.dense_fallback instead",
+                    )
+            if (
+                dotted is not None
+                and dotted.startswith(("np.random.", "numpy.random."))
+                and dotted.rsplit(".", 1)[1] not in _RPR002_ALLOWED
+            ):
+                self._report(
+                    node,
+                    "RPR002",
+                    f"{dotted}() uses numpy's global RNG state; thread an explicit "
+                    "Generator via repro.simulation.rng.spawn_seeds / make_rng",
+                )
+        self.generic_visit(node)
+
+    # -- RPR003 --------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        lineage = [node.name] + [
+            base_name
+            for base in node.bases
+            if (base_name := self._base_name(base)) is not None
+        ]
+        governed = [name for name in lineage if name in self.registry]
+        if governed:
+            declared: set[str] = set()
+            for name in governed:
+                entry = self.registry[name]
+                declared.update(entry.get("relevant", ()))
+                declared.update(entry.get("exempt", ()))
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                target = statement.target
+                if not isinstance(target, ast.Name) or target.id.startswith("_"):
+                    continue
+                if self._is_classvar(statement.annotation):
+                    continue
+                if target.id not in declared:
+                    self._report(
+                        statement,
+                        "RPR003",
+                        f"field {target.id!r} on {node.name} (fingerprinted via "
+                        f"{'/'.join(governed)}) is neither fingerprint-relevant nor "
+                        "fingerprint-exempt in "
+                        "repro.checking.fingerprints.FINGERPRINT_FIELDS",
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _base_name(base: ast.expr) -> str | None:
+        if isinstance(base, ast.Name):
+            return base.id
+        if isinstance(base, ast.Attribute):
+            return base.attr
+        return None
+
+    @staticmethod
+    def _is_classvar(annotation: ast.expr) -> bool:
+        head = annotation
+        if isinstance(head, ast.Subscript):
+            head = head.value
+        if isinstance(head, ast.Attribute):
+            return head.attr == "ClassVar"
+        return isinstance(head, ast.Name) and head.id == "ClassVar"
+
+    # -- RPR004 --------------------------------------------------------
+    def _check_diagnostics_dict(self, node: ast.expr) -> None:
+        if not isinstance(node, ast.Dict):
+            return
+        for key in node.keys:
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and key.value not in self.diagnostic_keys
+            ):
+                self._report(
+                    key,
+                    "RPR004",
+                    f"diagnostics key {key.value!r} is not declared in "
+                    "repro.engine.diagnostics.DIAGNOSTICS_SCHEMA",
+                )
+
+    @staticmethod
+    def _is_diagnostics_target(node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and (
+            node.id == "diagnostics" or node.id.endswith("_diagnostics")
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if self._is_diagnostics_target(target):
+                self._check_diagnostics_dict(node.value)
+            if (
+                isinstance(target, ast.Subscript)
+                and self._is_diagnostics_target(target.value)
+                and isinstance(target.slice, ast.Constant)
+                and isinstance(target.slice.value, str)
+                and target.slice.value not in self.diagnostic_keys
+            ):
+                self._report(
+                    node,
+                    "RPR004",
+                    f"diagnostics key {target.slice.value!r} is not declared in "
+                    "repro.engine.diagnostics.DIAGNOSTICS_SCHEMA",
+                )
+        self.generic_visit(node)
+
+    def visit_keyword(self, node: ast.keyword) -> None:
+        if node.arg == "diagnostics":
+            self._check_diagnostics_dict(node.value)
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# Driver.
+# ----------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    root: Path | None = None,
+) -> list[Violation]:
+    """Lint a source string; *path* is used for reporting and allowlisting."""
+    root = root or _REPO_ROOT
+    rpr001_allowed = Path(path).as_posix().endswith(_RPR001_ALLOWED_FILES)
+    checker = _Checker(
+        path,
+        source.splitlines(),
+        registry=_fingerprint_registry(root),
+        diagnostic_keys=_diagnostics_schema(root),
+        rpr001_allowed=rpr001_allowed,
+    )
+    checker.visit(ast.parse(source, filename=path))
+    return checker.violations
+
+
+def _python_files(paths: Iterable[str | Path], root: Path) -> Iterator[Path]:
+    for entry in paths:
+        target = Path(entry)
+        if not target.is_absolute():
+            target = root / target
+        if target.is_file():
+            yield target
+        else:
+            for candidate in sorted(target.rglob("*.py")):
+                if "__pycache__" in candidate.parts or any(
+                    part.startswith(".") for part in candidate.parts
+                ):
+                    continue
+                yield candidate
+
+
+def run_paths(paths: Iterable[str | Path], *, root: Path | None = None) -> list[Violation]:
+    """Lint every ``.py`` file under *paths* and return all violations."""
+    root = root or _REPO_ROOT
+    registry = _fingerprint_registry(root)
+    diagnostic_keys = _diagnostics_schema(root)
+    violations: list[Violation] = []
+    for file_path in _python_files(paths, root):
+        try:
+            rel = file_path.relative_to(root).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        checker = _Checker(
+            rel,
+            source.splitlines(),
+            registry=registry,
+            diagnostic_keys=diagnostic_keys,
+            rpr001_allowed=rel.endswith(_RPR001_ALLOWED_FILES),
+        )
+        checker.visit(ast.parse(source, filename=rel))
+        violations.extend(checker.violations)
+    return violations
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        args = ["src", "tests", "benchmarks"]
+    violations = run_paths(args)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"repro-lint: {len(violations)} violation(s) in rules "
+              f"{sorted({v.rule for v in violations})}")
+        return 1
+    print("repro-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
