@@ -30,6 +30,7 @@ package.
 from __future__ import annotations
 
 __all__ = [
+    "EXECUTION_POLICY_EXEMPT",
     "FINGERPRINT_FIELDS",
     "FingerprintRegistryError",
     "audit_fingerprint_registry",
@@ -92,8 +93,21 @@ FINGERPRINT_FIELDS = {
         "exempt": (
             "transient_mode",
             "kernel",
+            # Execution policy (retries, timeouts, backoff, failure mode):
+            # how hard the driver tries cannot change the curve, and a
+            # retried scenario must hit the cache entry its first attempt
+            # would have written.
+            "execution",
         ),
     },
+}
+
+#: Execution-policy fields that must stay fingerprint-*exempt* forever:
+#: :func:`audit_fingerprint_registry` fails if any of them migrates into a
+#: ``relevant`` tuple, so retry/timeout/failure-mode knobs provably never
+#: change sweep cache keys.
+EXECUTION_POLICY_EXEMPT = {
+    "SweepSpec": ("execution",),
 }
 
 
@@ -163,6 +177,22 @@ def audit_fingerprint_registry() -> None:
                 problems.append(
                     f"{name}: registry names unknown fields {sorted(stale)} "
                     "(renamed or removed?)"
+                )
+    # Execution-policy knobs must stay exempt: if one ever migrates into a
+    # ``relevant`` tuple, retried sweeps would stop hitting the cache
+    # entries their first attempts wrote (and old caches would go stale).
+    for name, exempt_fields in EXECUTION_POLICY_EXEMPT.items():
+        entry = FINGERPRINT_FIELDS.get(name, {"relevant": (), "exempt": ()})
+        for field_name in exempt_fields:
+            if field_name in entry["relevant"]:
+                problems.append(
+                    f"{name}: execution-policy field {field_name!r} must stay "
+                    "fingerprint-exempt (declared relevant)"
+                )
+            elif field_name not in entry["exempt"]:
+                problems.append(
+                    f"{name}: execution-policy field {field_name!r} is missing "
+                    "from the exempt declaration"
                 )
     if problems:
         raise FingerprintRegistryError("; ".join(problems))

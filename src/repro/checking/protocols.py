@@ -36,6 +36,7 @@ __all__ = [
     "GeneratorOperator",
     "IntArray",
     "SchedulerPolicy",
+    "SweepExecutor",
     "UniformizationKernel",
 ]
 
@@ -152,6 +153,40 @@ class SchedulerPolicy(Protocol):
 
     def key(self) -> tuple[Any, ...]:
         """Hashable fingerprint of the policy (name and parameters)."""
+        ...
+
+
+@runtime_checkable
+class SweepExecutor(Protocol):
+    """An execution backend for sweep chunks, checked by shape.
+
+    :class:`~repro.engine.executor.SerialChunkExecutor` and
+    :class:`~repro.engine.executor.ProcessChunkExecutor` are the shipped
+    implementations (registered as ``"serial"`` / ``"process"``); a
+    distributed backend conforms by submitting opaque chunk tasks and
+    reporting their outcomes -- the retry/split/degrade driver of
+    :func:`~repro.engine.executor.execute_chunks` runs unchanged on top.
+    Tasks and outcomes are deliberately ``Any`` here: this module imports
+    no engine types.
+    """
+
+    name: str
+
+    @property
+    def capacity(self) -> int:
+        """Number of tasks the backend accepts in flight at once."""
+        ...
+
+    def submit(self, task: Any) -> None:
+        """Start (or queue) one chunk task."""
+        ...
+
+    def poll(self, timeout: float | None = None) -> list[Any]:
+        """Wait up to *timeout* seconds and return completed outcomes."""
+        ...
+
+    def shutdown(self) -> None:
+        """Release the backend's resources (kill in-flight work if needed)."""
         ...
 
 

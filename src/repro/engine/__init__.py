@@ -48,6 +48,16 @@ from repro.engine.base import (
 )
 from repro.engine.batch import BatchResult, ScenarioBatch
 from repro.engine.deterministic import deterministic_lifetime, discharge_trajectory
+from repro.engine.executor import (
+    ExecutionPolicy,
+    ProcessChunkExecutor,
+    ScenarioFailure,
+    SerialChunkExecutor,
+    SweepProgress,
+    available_executors,
+    register_executor,
+)
+from repro.engine.faults import InjectedFaultError, override_faults, parse_faults
 from repro.engine.problem import LifetimeProblem, default_delta
 from repro.engine.registry import (
     available_solvers,
@@ -78,25 +88,35 @@ __all__ = [
     "AutoSolver",
     "BatchResult",
     "EngineError",
+    "ExecutionPolicy",
+    "InjectedFaultError",
     "LifetimeProblem",
     "LifetimeResult",
     "LifetimeSolver",
     "MRMUniformizationSolver",
     "MonteCarloSolver",
+    "ProcessChunkExecutor",
     "ScenarioBatch",
+    "ScenarioFailure",
+    "SerialChunkExecutor",
     "SolveWorkspace",
     "SweepCache",
+    "SweepProgress",
     "SweepResult",
     "SweepScenarioError",
     "SweepSpec",
     "UnknownSolverError",
     "UnsupportedProblemError",
+    "available_executors",
     "available_solvers",
     "choose_method",
     "default_delta",
     "deterministic_lifetime",
     "discharge_trajectory",
     "get_solver",
+    "override_faults",
+    "parse_faults",
+    "register_executor",
     "register_solver",
     "run_sweep",
     "scenario_fingerprint",

@@ -75,14 +75,25 @@ DIAGNOSTICS_SCHEMA = {
     "poisson_cache_hits": "combined Poisson memo hits (both caches)",
     "poisson_cache_misses": "combined Poisson memo misses (both caches)",
     # -- sweep driver ---------------------------------------------------
-    "n_solved": "scenarios actually solved (not cache-served)",
+    "n_solved": "scenarios actually solved (not cache-served, not failed)",
     "cache_hit": "whether this scenario came from the sweep cache",
     "cache_hits": "scenarios served from the sweep cache",
+    "resumed_hits": "cache hits recovered from on-disk checkpoints",
     "n_workers": "worker processes of the sweep",
     "n_chunks": "chain-sharing chunks the sweep partitioned into",
     "parallel": "whether the sweep fanned out over processes",
     "methods": "concrete solver methods the sweep used",
-    "cache": "sweep-cache statistics (hits/misses/evictions)",
+    "cache": "sweep-cache statistics (hits/misses/entries/quarantined)",
+    # -- fault-tolerant execution (repro.engine.executor) ----------------
+    "executor": "execution backend that ran the sweep (serial/process/...)",
+    "failure_mode": "strict (raise) or degrade (partial results) policy",
+    "n_retries": "chunk attempts retried after a failure",
+    "n_timeouts": "chunk attempts killed by the per-chunk deadline",
+    "n_pool_rebuilds": "worker-pool rebuilds after crashes or timeouts",
+    "n_failed": "scenarios that exhausted their retries (degrade mode)",
+    "checkpointed": "scenarios durably checkpointed by workers this run",
+    "failure": "structured ScenarioFailure record of one failed slot",
+    "failures": "all ScenarioFailure records of a degraded sweep",
 }
 
 #: The allowed key set, for fast membership checks.

@@ -1,0 +1,263 @@
+"""The ``REPRO_FAULTS`` deterministic fault-injection harness.
+
+Fault-tolerance code that is never exercised is fault-tolerance code that
+does not work.  This module injects worker failures *deterministically* so
+the retry, isolation, degradation and kill-resume paths of
+:mod:`repro.engine.executor` are tested rather than hoped-for:
+
+``REPRO_FAULTS="crash:rate=0.1:seed=7"``
+    Raise :class:`InjectedFaultError` in 10% of scenario solves, chosen by
+    a seeded hash of the scenario label (the same scenarios fail on every
+    run, in every process, regardless of execution order).
+``REPRO_FAULTS="hang:seconds=60:match=bursty"``
+    Sleep for 60 seconds before solving any scenario whose label contains
+    ``"bursty"`` -- exercises the per-chunk timeout path.
+``REPRO_FAULTS="kill:max_attempt=1"``
+    ``SIGKILL`` the worker process (first attempt only) -- exercises the
+    ``BrokenProcessPool`` rebuild path.
+``REPRO_FAULTS="corrupt"``
+    Return a structurally broken lifetime curve -- exercises the parent's
+    result-envelope validation and retry.
+
+Directives are ``;``-separated, each ``kind[:key=value]*`` with keys
+``rate`` (firing probability, default 1), ``seed`` (hash seed, default 0),
+``match`` (label substring filter), ``max_attempt`` (fire only while the
+chunk attempt counter is below this, so "fail N times then succeed" is
+expressible) and ``seconds`` (hang duration).
+
+The knob mirrors the ``REPRO_CHECKS`` design
+(:mod:`repro.checking.contracts`): the environment variable is re-read on
+every :func:`faults_spec` call and :func:`override_faults` offers a scoped
+in-process override that wins over the environment.  :func:`run_sweep`
+captures the active spec in the parent and ships it inside each chunk
+task, so overrides reach worker processes without relying on environment
+inheritance.  The harness is inert (one empty-string check) unless a spec
+is set; production code never pays for it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import signal
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterator
+
+    from repro.engine.result import LifetimeResult
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultDirective",
+    "FaultPlan",
+    "InjectedFaultError",
+    "faults_spec",
+    "override_faults",
+    "parse_faults",
+]
+
+#: The supported fault kinds.
+FAULT_KINDS = ("crash", "kill", "hang", "corrupt")
+
+#: Name of the controlling environment variable.
+ENV_VAR = "REPRO_FAULTS"
+
+_override: str | None = None
+
+
+class InjectedFaultError(RuntimeError):
+    """A deliberate failure raised by the ``crash`` fault injector."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultDirective:
+    """One parsed ``REPRO_FAULTS`` directive.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    rate:
+        Firing probability in ``[0, 1]``; the decision per scenario label
+        is a seeded hash, not a random draw, so it is identical in every
+        process and on every retry.
+    seed:
+        Seed mixed into the label hash -- different seeds select different
+        victim subsets at the same rate.
+    match:
+        Only labels containing this substring are eligible (empty matches
+        all).
+    max_attempt:
+        Fire only while the chunk's attempt counter is strictly below this
+        value; ``None`` fires on every attempt.  ``max_attempt=1`` means
+        "fail the first attempt, succeed on retry".
+    seconds:
+        Sleep duration of the ``hang`` kind.
+    """
+
+    kind: str
+    rate: float = 1.0
+    seed: int = 0
+    match: str = ""
+    max_attempt: int | None = None
+    seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must lie in [0, 1], got {self.rate!r}")
+        if self.seconds < 0.0:
+            raise ValueError(f"hang seconds must be non-negative, got {self.seconds!r}")
+
+    # ------------------------------------------------------------------
+    def chance(self, label: str) -> float:
+        """Deterministic pseudo-uniform draw in ``[0, 1)`` for *label*.
+
+        A sha256 of ``(seed, kind, label)`` mapped to a fraction: stable
+        across processes, Python hash randomisation and retry order.
+        """
+        digest = hashlib.sha256(f"{self.seed}|{self.kind}|{label}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def fires(self, label: str, attempt: int) -> bool:
+        """Whether this directive fires for *label* at chunk *attempt*."""
+        if self.match and self.match not in label:
+            return False
+        if self.max_attempt is not None and attempt >= self.max_attempt:
+            return False
+        return self.chance(label) < self.rate
+
+
+def faults_spec() -> str:
+    """Return the active fault spec ("" when the harness is inert).
+
+    A scoped :func:`override_faults` wins over the environment; the
+    environment variable is re-read on every call so tests can flip specs
+    with ``monkeypatch.setenv``.
+    """
+    if _override is not None:
+        return _override
+    return os.environ.get(ENV_VAR, "").strip()
+
+
+@contextmanager
+def override_faults(spec: str) -> "Iterator[None]":
+    """Force the fault *spec* within a ``with`` block (re-entrant).
+
+    The spec is parsed eagerly so a malformed directive fails at the
+    ``with`` statement, not inside a worker process.
+    """
+    global _override
+    parse_faults(spec)
+    previous = _override
+    _override = spec
+    try:
+        yield
+    finally:
+        _override = previous
+
+
+def parse_faults(spec: str) -> tuple[FaultDirective, ...]:
+    """Parse a ``REPRO_FAULTS`` spec into directives (raises on nonsense).
+
+    Unknown kinds and unknown keys raise :class:`ValueError` immediately:
+    a typo'd fault spec that silently injects nothing would defeat the
+    harness's purpose.
+    """
+    directives: list[FaultDirective] = []
+    for raw in spec.split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        kind, _, tail = raw.partition(":")
+        kind = kind.strip().lower()
+        options: dict[str, float | int | str | None] = {}
+        for item in tail.split(":") if tail else []:
+            key, separator, value = item.partition("=")
+            key = key.strip()
+            if not separator:
+                raise ValueError(f"malformed fault option {item!r} in {raw!r}; expected key=value")
+            if key == "rate":
+                options["rate"] = float(value)
+            elif key == "seed":
+                options["seed"] = int(value)
+            elif key == "match":
+                options["match"] = value
+            elif key == "max_attempt":
+                options["max_attempt"] = int(value)
+            elif key == "seconds":
+                options["seconds"] = float(value)
+            else:
+                raise ValueError(f"unknown fault option {key!r} in {raw!r}")
+        directives.append(FaultDirective(kind=kind, **options))  # type: ignore[arg-type]
+    return tuple(directives)
+
+
+class FaultPlan:
+    """The compiled fault directives a worker consults per scenario.
+
+    Workers receive the spec string inside their chunk task and compile it
+    once per chunk; :meth:`before_scenario` applies the side-effecting
+    kinds (crash / kill / hang) and :meth:`wants_corrupt` /
+    :meth:`corrupt` handle result corruption after the solve.
+    """
+
+    def __init__(self, directives: tuple[FaultDirective, ...]) -> None:
+        self.directives = directives
+
+    @classmethod
+    def from_spec(cls, spec: str | None = None) -> "FaultPlan":
+        """Compile *spec* (or the ambient :func:`faults_spec`)."""
+        return cls(parse_faults(faults_spec() if spec is None else spec))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any directive is active (the hot-path guard)."""
+        return bool(self.directives)
+
+    # ------------------------------------------------------------------
+    def before_scenario(self, label: str, attempt: int) -> None:
+        """Apply crash / kill / hang faults before solving *label*.
+
+        ``kill`` sends ``SIGKILL`` to the current process -- only
+        meaningful inside a worker process (a serial sweep would kill the
+        driver); ``hang`` sleeps, relying on the executor's chunk timeout
+        to reap it.
+        """
+        for directive in self.directives:
+            if not directive.fires(label, attempt):
+                continue
+            if directive.kind == "crash":
+                raise InjectedFaultError(f"injected crash for scenario {label!r} (attempt {attempt})")
+            if directive.kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            if directive.kind == "hang":
+                time.sleep(directive.seconds)
+
+    def wants_corrupt(self, label: str, attempt: int) -> bool:
+        """Whether the solved result of *label* should be corrupted."""
+        return any(
+            directive.kind == "corrupt" and directive.fires(label, attempt)
+            for directive in self.directives
+        )
+
+    @staticmethod
+    def corrupt(result: "LifetimeResult") -> "LifetimeResult":
+        """Return a structurally broken copy of *result*.
+
+        The lifetime CDF is replaced by its complement ``1 - F``, which is
+        non-increasing wherever the true curve gained mass -- exactly the
+        violation the parent-side result-envelope validation rejects.
+        (A perfectly flat curve survives complementing; the harness's
+        test scenarios always have spread.)
+        """
+        distribution = result.distribution
+        broken = dataclasses.replace(
+            distribution, probabilities=1.0 - distribution.probabilities
+        )
+        return dataclasses.replace(result, distribution=broken)

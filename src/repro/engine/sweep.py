@@ -1,8 +1,8 @@
-"""Parallel, cache-backed scenario sweeps.
+"""Parallel, cache-backed, fault-tolerant scenario sweeps.
 
 :class:`~repro.engine.batch.ScenarioBatch` shares work *within* one
 process; this module fans a sweep out *across* worker processes and adds a
-persistent result cache on top:
+persistent result cache plus a fault-tolerant execution layer on top:
 
 * :class:`SweepSpec` describes a sweep declaratively as a cross-product
   over workloads x batteries x discretisation steps x solver methods, with
@@ -13,17 +13,24 @@ persistent result cache on top:
   on disk, keyed by a fingerprint built on
   :meth:`~repro.engine.problem.LifetimeProblem.chain_key` plus every
   solver-relevant knob -- a re-run of the same spec is answered without
-  solving anything;
+  solving anything.  Disk entries are version-stamped envelopes written
+  atomically; unreadable or stale files are quarantined, never served;
 * :func:`run_sweep` executes a sweep: scenarios that share an expanded
   chain are kept in the same chunk (so each worker retains the
   blocked-uniformisation merging of :class:`ScenarioBatch`), chunks are
-  distributed over a :class:`concurrent.futures.ProcessPoolExecutor`, and
-  the results are reassembled in scenario order regardless of which worker
-  finished first.
+  scheduled through the retrying executor layer of
+  :mod:`repro.engine.executor`, workers *checkpoint every solved group to
+  the cache directory as they go* (a killed sweep resumes from exactly
+  what was done), and the results are reassembled in scenario order
+  regardless of which worker finished first.  Failures are retried with
+  exponential backoff and chunk splitting; exhausted failures either
+  abort the sweep (``failure_mode="strict"``) or degrade it to a partial
+  result whose failed slots carry structured
+  :class:`~repro.engine.executor.ScenarioFailure` records.
 
 Serial execution (``max_workers=1``) routes through exactly the same
-chunking and :class:`ScenarioBatch` machinery in-process, so parallel and
-serial sweeps produce bit-identical results.
+chunking, retry and :class:`ScenarioBatch` machinery in-process, so
+parallel and serial sweeps produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -34,14 +41,27 @@ import pickle
 import tempfile
 import time
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.analysis.distribution import LifetimeDistribution
 from repro.battery.parameters import KiBaMParameters
 from repro.engine.batch import BatchResult, ScenarioBatch, chain_merge_key
+from repro.engine.diagnostics import validate_diagnostics
+from repro.engine.executor import (
+    FAILURE_MODES,
+    ChunkTask,
+    CorruptResultError,
+    ExecutionPolicy,
+    ExecutionStats,
+    ScenarioFailure,
+    SweepProgress,
+    execute_chunks,
+    get_executor_factory,
+)
+from repro.engine.faults import FaultPlan, faults_spec
 from repro.engine.problem import LifetimeProblem
 from repro.engine.result import LifetimeResult
 from repro.engine.solvers import MRMUniformizationSolver, choose_method
@@ -50,9 +70,12 @@ from repro.simulation.rng import DEFAULT_SEED, spawn_seeds
 from repro.workload.base import WorkloadModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable
+
     from repro.checking import FloatArray
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "SweepCache",
     "SweepResult",
     "SweepScenarioError",
@@ -107,13 +130,18 @@ def scenario_fingerprint(problem: LifetimeProblem, method: str) -> str:
     multi-battery product-chain ``backend`` (assembled / matrix-free /
     lumped) and the compute ``kernel`` (scipy / compiled) are excluded for
     the same reason -- every backend and kernel computes the same lifetime
-    law.  The flip side:
+    law.  The execution-policy knobs of
+    :class:`~repro.engine.executor.ExecutionPolicy` (retries, timeouts,
+    failure mode) are likewise excluded: *how hard* the driver tried
+    cannot change the curve, and a retried scenario must hit the cache
+    entry its first attempt would have written (the RPR003 registry audit
+    asserts this exclusion).  The flip side:
     a sweep meant to *cross-check* the two modes (or two backends) against
     each other must run with ``cache=None`` (or distinct caches), otherwise
     the second run is served the first run's cached results verbatim.
     """
     if str(method) in DETERMINISTIC_METHODS:
-        stochastic_knobs = ()
+        stochastic_knobs: tuple[Any, ...] = ()
     else:
         stochastic_knobs = (
             int(problem.n_runs),
@@ -130,6 +158,13 @@ def scenario_fingerprint(problem: LifetimeProblem, method: str) -> str:
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
 
 
+#: Version of the on-disk cache-entry envelope.  Bump it whenever the
+#: pickle layout of an entry changes; entries stamped with another version
+#: are quarantined (renamed ``*.corrupt``), never deserialised into stale
+#: results.
+CACHE_SCHEMA_VERSION = 1
+
+
 class SweepCache:
     """Fingerprint-keyed cache of solved scenarios.
 
@@ -139,6 +174,15 @@ class SweepCache:
     :func:`scenario_fingerprint`; anything that changes the solution --
     workload, battery, step size, grid, epsilon, seed, method -- changes
     the key, so stale hits are impossible without hash collisions.
+
+    Each on-disk entry is an *envelope* carrying the cache schema version
+    and the ``repro`` version that wrote it, and is written atomically
+    (temp file + ``os.replace``), so a file either holds a complete valid
+    envelope or does not exist -- which is what makes worker-side
+    checkpoint streaming crash-safe.  Unreadable files and envelopes with
+    a different :data:`CACHE_SCHEMA_VERSION` are quarantined by renaming
+    them ``<fingerprint>.pkl.corrupt`` (so the evidence survives for
+    forensics but is never re-read); :meth:`stats` reports the count.
 
     The on-disk format is plain :mod:`pickle`; only point the cache at
     directories you trust.
@@ -151,51 +195,140 @@ class SweepCache:
             os.makedirs(self._directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.quarantined = 0
 
     def __len__(self) -> int:
         return len(self._memory)
 
+    @property
+    def directory(self) -> str | None:
+        """The backing directory, or ``None`` for a memory-only cache."""
+        return self._directory
+
+    @staticmethod
+    def entry_path(directory: str, fingerprint: str) -> str:
+        """The on-disk path of *fingerprint*'s envelope under *directory*."""
+        return os.path.join(directory, f"{fingerprint}.pkl")
+
     def _path(self, fingerprint: str) -> str:
         assert self._directory is not None
-        return os.path.join(self._directory, f"{fingerprint}.pkl")
+        return self.entry_path(self._directory, fingerprint)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def pack_entry(fingerprint: str, result: LifetimeResult) -> dict[str, Any]:
+        """Build the version-stamped envelope persisted for one entry."""
+        from repro import __version__
+
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "repro_version": __version__,
+            "fingerprint": fingerprint,
+            "result": result,
+        }
+
+    @classmethod
+    def write_entry(cls, directory: str, fingerprint: str, result: LifetimeResult) -> None:
+        """Atomically persist one envelope under *directory*.
+
+        Static so sweep *workers* can checkpoint solved groups durably
+        without holding a cache instance (each worker process streams
+        entries into the same directory the parent's cache reads).
+        """
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=directory, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(cls.pack_entry(fingerprint, result), handle)
+            os.replace(handle.name, cls.entry_path(directory, fingerprint))
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+
+    def _quarantine(self, path: str) -> None:
+        """Rename a bad entry to ``*.corrupt`` so it is never re-read."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:  # pragma: no cover - raced by a concurrent reader
+            pass
+        else:
+            self.quarantined += 1
+
+    def _load_entry(self, fingerprint: str) -> LifetimeResult | None:
+        """Disk lookup with envelope validation; quarantines bad files."""
+        assert self._directory is not None
+        path = self._path(fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated writes cannot happen (atomic replace), so an
+            # unreadable file is foreign or damaged: quarantine it.
+            self._quarantine(path)
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema") != CACHE_SCHEMA_VERSION
+            or not isinstance(envelope.get("result"), LifetimeResult)
+        ):
+            self._quarantine(path)
+            return None
+        result: LifetimeResult = envelope["result"]
+        return result
 
     # ------------------------------------------------------------------
     def get(self, fingerprint: str) -> LifetimeResult | None:
         """Return the cached result for *fingerprint*, or ``None``."""
         result = self._memory.get(fingerprint)
         if result is None and self._directory is not None:
-            try:
-                with open(self._path(fingerprint), "rb") as handle:
-                    result = pickle.load(handle)
-            except (FileNotFoundError, EOFError, pickle.UnpicklingError):
-                result = None
-            else:
+            result = self._load_entry(fingerprint)
+            if result is not None:
                 self._memory[fingerprint] = result
+                self.disk_hits += 1
         if result is None:
             self.misses += 1
         else:
             self.hits += 1
         return result
 
-    def put(self, fingerprint: str, result: LifetimeResult) -> None:
-        """Store *result* under *fingerprint* (atomically on disk)."""
+    def put(self, fingerprint: str, result: LifetimeResult, *, memory_only: bool = False) -> None:
+        """Store *result* under *fingerprint* (atomically on disk).
+
+        ``memory_only=True`` skips the disk write -- used by the sweep
+        driver when the worker already checkpointed the entry, so each
+        result is persisted exactly once.
+        """
         self._memory[fingerprint] = result
-        if self._directory is None:
+        if self._directory is None or memory_only:
             return
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=self._directory, suffix=".tmp", delete=False
-        )
-        try:
-            with handle:
-                pickle.dump(result, handle)
-            os.replace(handle.name, self._path(fingerprint))
-        except BaseException:
-            os.unlink(handle.name)
-            raise
+        self.write_entry(self._directory, fingerprint, result)
 
     def stats(self) -> dict[str, int]:
-        """Return hit/miss counters and the number of entries held."""
-        return {"entries": len(self._memory), "hits": self.hits, "misses": self.misses}
+        """Return hit/miss counters and entry counts (memory *and* disk).
+
+        ``disk_entries`` counts the ``*.pkl`` files actually on disk -- a
+        resumed process reports its warm on-disk cache instead of a
+        misleading empty in-memory dict; ``disk_hits`` counts lookups
+        served from disk (i.e. resumed entries) and ``quarantined`` the
+        bad files this instance renamed ``*.corrupt``.
+        """
+        disk_entries = 0
+        if self._directory is not None:
+            disk_entries = sum(
+                1 for name in os.listdir(self._directory) if name.endswith(".pkl")
+            )
+        return {
+            "entries": len(self._memory),
+            "disk_entries": disk_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "quarantined": self.quarantined,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -241,6 +374,11 @@ class SweepSpec:
         Uniformisation compute kernel shared by every scenario
         (``"auto"``, ``"scipy"`` or ``"compiled"``); like
         ``transient_mode``, excluded from the cache fingerprints.
+    execution:
+        Optional :class:`~repro.engine.executor.ExecutionPolicy` (retries,
+        per-chunk timeout, backoff, failure mode) applied when the spec is
+        run; like ``transient_mode``, excluded from the cache fingerprints
+        -- how a result was obtained cannot change it.
     """
 
     workloads: Sequence[WorkloadModel | str]
@@ -256,6 +394,7 @@ class SweepSpec:
     seed: int = DEFAULT_SEED
     transient_mode: str = "incremental"
     kernel: str = "auto"
+    execution: ExecutionPolicy | None = None
 
     def __len__(self) -> int:
         return (
@@ -363,13 +502,26 @@ class SweepResult(BatchResult):
 
     Identical in shape to :class:`~repro.engine.batch.BatchResult`; the
     sweep-level ``diagnostics`` additionally report worker counts, cache
-    hits and which scenarios were served from the cache.
+    hits, retry/failure counters and which scenarios were served from the
+    cache.  Under ``failure_mode="degrade"`` failed slots hold placeholder
+    results (``method == "failed"``, all-NaN probabilities) whose
+    diagnostics carry the :class:`~repro.engine.executor.ScenarioFailure`
+    record under ``"failure"``.
     """
 
     @property
     def labels(self) -> list[str]:
         """The scenario labels, in scenario order."""
         return [result.label for result in self.results]
+
+    @property
+    def failed_indices(self) -> list[int]:
+        """Scenario indices whose slots are failure placeholders."""
+        return [
+            index
+            for index, result in enumerate(self.results)
+            if result.method == FAILED_METHOD
+        ]
 
 
 # ----------------------------------------------------------------------
@@ -408,8 +560,9 @@ def _partition(
 
     Scenarios are first grouped by :func:`_chain_group_key`; whole groups
     are then assigned to the least-loaded chunk (longest-processing-time
-    greedy on the estimated cost).  The assignment depends only on the
-    scenario list, so it is deterministic.
+    greedy on the estimated cost).  Groups of equal estimated cost are
+    ordered by their first scenario index, so the assignment depends only
+    on the scenario list -- it is deterministic.
     """
     groups: dict[tuple[Any, ...], list[tuple[int, LifetimeProblem, str]]] = {}
     for index, problem, method in scenarios:
@@ -440,38 +593,125 @@ def _partition(
     return [chunk for chunk in chunks if chunk]
 
 
-def _solve_chunk(
-    chunk: list[tuple[list[int], str, list[LifetimeProblem]]],
-) -> list[tuple[int, LifetimeResult]]:
-    """Worker entry point: solve one chunk of chain-sharing groups.
+#: One worker payload: per chain-sharing group, the scenario indices, the
+#: solved results (scenario order within the group) and whether the worker
+#: already checkpointed them to the cache directory.
+ChunkPayload = list[tuple[list[int], list[LifetimeResult], bool]]
+
+
+def _solve_chunk_task(task: ChunkTask) -> ChunkPayload:
+    """Worker entry point: solve one task of chain-sharing groups.
 
     Runs in a worker process (must stay module-level picklable).  All
-    groups of the chunk share one workspace, so chains, propagators and
+    groups of the task share one workspace, so chains, propagators and
     Poisson windows are reused across groups exactly as in a serial batch.
     Steady-state horizon caps are disabled: whether an MRM solve of the
     same chain happens to precede a Monte-Carlo scenario in the chunk is
     an accident of chunking, and cached results must not depend on it.
+
+    When the task names a checkpoint directory, every solved group is
+    written to it immediately (one atomic envelope per scenario, the same
+    format :class:`SweepCache` reads), so the sweep's durable frontier
+    advances group by group -- not sweep by sweep.  The
+    :mod:`repro.engine.faults` injectors hook in here, gated on the
+    task-carried fault spec; corrupted results are deliberately *not*
+    checkpointed (the parent must reject them first).
     """
+    plan = FaultPlan.from_spec(task.faults)
     workspace = SolveWorkspace(horizon_caps=False)
-    solved: list[tuple[int, LifetimeResult]] = []
-    for indices, method, problems in chunk:
+    payload: ChunkPayload = []
+    for group_indices, method, group_problems in task.groups:
+        indices = list(group_indices)
+        problems = list(group_problems)
+        labels = tuple(
+            problem.label or f"scenario #{index}"
+            for index, problem in zip(indices, problems)
+        )
         try:
+            if plan.enabled:
+                for label in labels:
+                    plan.before_scenario(label, task.attempt)
             outcome = ScenarioBatch(problems).run(method, workspace=workspace)
         except Exception as error:
             # Attach the failing scenarios' identity: a bare worker
             # exception is useless in a sweep of hundreds of scenarios.
-            labels = tuple(
-                problem.label or f"scenario #{index}"
-                for index, problem in zip(indices, problems)
-            )
             named = ", ".join(repr(label) for label in labels)
             raise SweepScenarioError(
                 f"solving sweep scenario(s) {named} with method {method!r} "
                 f"failed: {type(error).__name__}: {error}",
                 labels,
             ) from error
-        solved.extend(zip(indices, outcome.results))
-    return solved
+        results = list(outcome.results)
+        corrupted = False
+        if plan.enabled:
+            for position, label in enumerate(labels):
+                if plan.wants_corrupt(label, task.attempt):
+                    results[position] = FaultPlan.corrupt(results[position])
+                    corrupted = True
+        checkpointed = False
+        if task.checkpoint_dir is not None and not corrupted:
+            for index, result in zip(indices, results):
+                fingerprint = task.fingerprints.get(index)
+                if fingerprint is not None:
+                    SweepCache.write_entry(task.checkpoint_dir, fingerprint, result)
+                    checkpointed = True
+        payload.append((indices, results, checkpointed))
+    return payload
+
+
+#: Sentinel ``LifetimeResult.method`` of degrade-mode failure placeholders.
+FAILED_METHOD = "failed"
+
+
+def _failed_result(problem: LifetimeProblem, failure: ScenarioFailure) -> LifetimeResult:
+    """Placeholder result of a scenario that exhausted its retries.
+
+    All-NaN probabilities make any numeric use of the slot conspicuous
+    (means, quantiles and plots propagate the NaNs) while keeping the
+    result shape uniform; the structured failure record rides in the
+    (schema-valid) diagnostics.
+    """
+    distribution = LifetimeDistribution(
+        times=problem.times,
+        probabilities=np.full(problem.times.shape, np.nan),
+        label=problem.label or f"scenario #{failure.index}",
+        metadata={"failed": True},
+    )
+    return LifetimeResult(
+        distribution=distribution,
+        method=FAILED_METHOD,
+        diagnostics={"failure": failure.as_record(), "cache_hit": False},
+    )
+
+
+def _validate_result_envelope(result: object, problem: LifetimeProblem) -> None:
+    """Reject structurally broken worker results before they are merged.
+
+    The checks mirror what any consumer of a lifetime CDF assumes -- the
+    scenario's own grid, finite probabilities, monotone non-decreasing up
+    to solver noise, schema-conforming diagnostics -- and are exactly what
+    the ``corrupt`` fault injector violates.  Raising
+    :class:`~repro.engine.executor.CorruptResultError` turns the bogus
+    success into a retryable failure.
+    """
+    if not isinstance(result, LifetimeResult):
+        raise CorruptResultError(
+            f"worker returned {type(result).__name__}, not a LifetimeResult"
+        )
+    grid = np.asarray(problem.times, dtype=float).ravel()
+    if result.distribution.times.shape != grid.shape or not np.array_equal(
+        result.distribution.times, grid
+    ):
+        raise CorruptResultError("result time grid does not match the scenario grid")
+    probabilities = result.distribution.probabilities
+    if not bool(np.all(np.isfinite(probabilities))):
+        raise CorruptResultError("lifetime CDF contains non-finite probabilities")
+    if probabilities.size > 1 and float(np.min(np.diff(probabilities))) < -1e-6:
+        raise CorruptResultError("lifetime CDF is not non-decreasing")
+    try:
+        validate_diagnostics(result.diagnostics)
+    except KeyError as error:
+        raise CorruptResultError(f"result diagnostics violate the schema: {error}") from None
 
 
 def _with_diagnostics(result: LifetimeResult, extra: dict[str, Any]) -> LifetimeResult:
@@ -501,7 +741,11 @@ def run_sweep(
     *,
     max_workers: int | None = None,
     cache: SweepCache | None = None,
-    cache_dir: str | os.PathLike | None = None,
+    cache_dir: str | os.PathLike[str] | None = None,
+    execution: ExecutionPolicy | None = None,
+    failure_mode: str | None = None,
+    executor: str | Any | None = None,
+    progress: "Callable[[SweepProgress], None] | None" = None,
 ) -> SweepResult:
     """Solve a scenario sweep, fanning uncached work out over processes.
 
@@ -522,17 +766,45 @@ def run_sweep(
         Optional :class:`SweepCache`.  Scenarios found in the cache are not
         solved again; their results carry ``diagnostics["cache_hit"] ==
         True``.  Freshly solved scenarios are stored back and carry
-        ``cache_hit == False``.
+        ``cache_hit == False``.  With a disk-backed cache, workers
+        checkpoint each solved chain-sharing group to the cache directory
+        *as it finishes*, so a sweep killed mid-run resumes from its last
+        completed group (``diagnostics["resumed_hits"]`` counts the
+        entries a run recovered from disk).
     cache_dir:
         Convenience: directory for a disk-backed cache, used only when
         *cache* is ``None``.
+    execution:
+        :class:`~repro.engine.executor.ExecutionPolicy` controlling
+        retries, per-chunk timeouts, backoff and the failure mode.
+        Default: the spec's ``execution`` field, else the policy defaults
+        (two retries, no timeout, strict).  None of these knobs affects
+        cache fingerprints.
+    failure_mode:
+        Shorthand override of ``execution.failure_mode``: ``"strict"``
+        raises :class:`SweepScenarioError` naming the failing scenarios
+        once their retries are exhausted; ``"degrade"`` returns a partial
+        :class:`SweepResult` whose failed slots carry structured
+        :class:`~repro.engine.executor.ScenarioFailure` records.
+    executor:
+        Execution backend: a registered name (``"serial"``,
+        ``"process"``, or anything added via
+        :func:`repro.engine.executor.register_executor`), an executor
+        instance, or ``None`` to choose ``"process"`` for parallel runs
+        and ``"serial"`` otherwise.
+    progress:
+        Optional callback receiving
+        :class:`~repro.engine.executor.SweepProgress` events (scenario
+        counts, retries, elapsed and ETA seconds) after the cache scan and
+        after every completed or failed chunk.
 
     Returns
     -------
     SweepResult
         Results in scenario order -- independent of worker count and
         completion order -- plus sweep-level diagnostics (``n_workers``,
-        ``n_chunks``, ``cache_hits``, ``wall_seconds``, ...).
+        ``n_chunks``, ``cache_hits``, ``n_retries``, ``resumed_hits``,
+        ``wall_seconds``, ...).
     """
     started = time.perf_counter()
     if cache is None and cache_dir is not None:
@@ -540,14 +812,22 @@ def run_sweep(
 
     if isinstance(scenarios, SweepSpec):
         problems, methods = scenarios.scenarios()
+        spec_policy = scenarios.execution
     else:
         if isinstance(scenarios, ScenarioBatch):
             problems = scenarios.problems
         else:
             problems = list(scenarios)
         methods = [method] * len(problems)
+        spec_policy = None
     if not problems:
         raise ValueError("a sweep needs at least one scenario")
+
+    policy = execution if execution is not None else (spec_policy or ExecutionPolicy())
+    if failure_mode is not None:
+        if failure_mode not in FAILURE_MODES:
+            raise ValueError(f"failure_mode {failure_mode!r} is not one of {FAILURE_MODES}")
+        policy = replace(policy, failure_mode=failure_mode)
 
     # Resolve "auto" up front so cache keys and chunk groups see concrete
     # solver names (choose_method is deterministic in the problem).
@@ -560,6 +840,7 @@ def run_sweep(
     fingerprints: list[str | None] = [None] * len(problems)
     pending: list[tuple[int, LifetimeProblem, str]] = []
     cache_hits = 0
+    disk_hits_before = cache.disk_hits if cache is not None else 0
     for index, (problem, name) in enumerate(zip(problems, concrete)):
         if cache is not None:
             fingerprint = scenario_fingerprint(problem, name)
@@ -572,6 +853,7 @@ def run_sweep(
                 cache_hits += 1
                 continue
         pending.append((index, problem, name))
+    resumed_hits = (cache.disk_hits - disk_hits_before) if cache is not None else 0
 
     if max_workers is None:
         max_workers = default_worker_count()
@@ -579,31 +861,173 @@ def run_sweep(
 
     chunks = _partition(pending, max_workers) if pending else []
     parallel = max_workers > 1 and len(chunks) > 1
-    if parallel:
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            solved_chunks = list(pool.map(_solve_chunk, chunks))
-    else:
-        solved_chunks = [_solve_chunk(chunk) for chunk in chunks]
+    n_workers = len(chunks) if parallel else 1
 
-    for solved in solved_chunks:
-        for index, result in solved:
-            result = _with_diagnostics(result, {"cache_hit": False})
-            results[index] = result
-            if cache is not None:
-                fingerprint = fingerprints[index]
-                assert fingerprint is not None
-                cache.put(fingerprint, result)
+    checkpoint_dir = cache.directory if cache is not None else None
+    active_faults = faults_spec()
+    tasks: list[ChunkTask] = []
+    for task_id, chunk in enumerate(chunks):
+        chunk_fingerprints: dict[int, str] = {}
+        if checkpoint_dir is not None:
+            for chunk_indices, _, _ in chunk:
+                for index in chunk_indices:
+                    chunk_fingerprint = fingerprints[index]
+                    if chunk_fingerprint is not None:
+                        chunk_fingerprints[index] = chunk_fingerprint
+        tasks.append(
+            ChunkTask(
+                task_id=task_id,
+                groups=tuple(
+                    (tuple(chunk_indices), chunk_method, tuple(chunk_problems))
+                    for chunk_indices, chunk_method, chunk_problems in chunk
+                ),
+                checkpoint_dir=checkpoint_dir,
+                fingerprints=chunk_fingerprints,
+                faults=active_faults,
+            )
+        )
 
+    total = len(problems)
+    done = cache_hits
+    failed_scenarios = 0
+    retries_seen = 0
+    checkpointed_scenarios = 0
+    failures: list[ScenarioFailure] = []
+
+    def emit_progress() -> None:
+        if progress is None:
+            return
+        elapsed = time.perf_counter() - started
+        solved_so_far = done - cache_hits
+        remaining = total - done
+        eta: float | None = None
+        if remaining == 0:
+            eta = 0.0
+        elif solved_so_far > 0:
+            eta = elapsed / solved_so_far * remaining
+        progress(
+            SweepProgress(
+                total=total,
+                done=done,
+                failed=failed_scenarios,
+                retries=retries_seen,
+                elapsed_seconds=elapsed,
+                eta_seconds=eta,
+            )
+        )
+
+    def handle_success(task: ChunkTask, payload: Any) -> None:
+        nonlocal done, checkpointed_scenarios
+        for group_indices, group_results, checkpointed in payload:
+            for index, result in zip(group_indices, group_results):
+                stamped = _with_diagnostics(result, {"cache_hit": False})
+                results[index] = stamped
+                result_fingerprint = fingerprints[index]
+                if cache is not None and result_fingerprint is not None:
+                    cache.put(result_fingerprint, stamped, memory_only=checkpointed)
+            if checkpointed:
+                checkpointed_scenarios += len(group_indices)
+            done += len(group_indices)
+        emit_progress()
+
+    def handle_failure(task: ChunkTask, error: BaseException, timed_out: bool) -> None:
+        nonlocal done, failed_scenarios
+        if policy.failure_mode == "strict":
+            if isinstance(error, SweepScenarioError) and error.labels:
+                labels = error.labels
+            else:
+                labels = task.labels()
+            named = ", ".join(repr(label) for label in labels)
+            raise SweepScenarioError(
+                f"sweep scenario(s) {named} failed after {task.attempt + 1} "
+                f"attempt(s): {type(error).__name__}: {error}",
+                labels,
+            ) from error
+        for group_indices, group_method, group_problems in task.groups:
+            for index, problem in zip(group_indices, group_problems):
+                failure = ScenarioFailure(
+                    index=index,
+                    label=problem.label or f"scenario #{index}",
+                    method=group_method,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    attempts=task.attempt + 1,
+                    timed_out=timed_out,
+                )
+                failures.append(failure)
+                results[index] = _failed_result(problem, failure)
+                failed_scenarios += 1
+                done += 1
+        emit_progress()
+
+    def handle_retry(task: ChunkTask) -> None:
+        nonlocal retries_seen
+        retries_seen += 1
+
+    def validate_payload(task: ChunkTask, payload: Any) -> None:
+        by_index = {
+            index: problem
+            for group_indices, _, group_problems in task.groups
+            for index, problem in zip(group_indices, group_problems)
+        }
+        for group_indices, group_results, _ in payload:
+            if len(group_indices) != len(group_results):
+                raise CorruptResultError(
+                    "worker payload has mismatched index/result counts"
+                )
+            for index, result in zip(group_indices, group_results):
+                _validate_result_envelope(result, by_index[index])
+
+    emit_progress()
+
+    stats = ExecutionStats()
+    executor_name = "serial"
+    if tasks:
+        if executor is None or isinstance(executor, str):
+            executor_name = (
+                executor
+                if isinstance(executor, str)
+                else ("process" if parallel else "serial")
+            )
+            executor_instance = get_executor_factory(executor_name)(
+                _solve_chunk_task,
+                max_workers=n_workers,
+                timeout=policy.chunk_timeout,
+            )
+        else:
+            executor_instance = executor
+            executor_name = str(getattr(executor, "name", type(executor).__name__))
+        stats = execute_chunks(
+            tasks,
+            executor_instance,
+            policy,
+            on_success=handle_success,
+            on_failure=handle_failure,
+            validate=validate_payload,
+            on_retry=handle_retry,
+        )
+
+    assert all(result is not None for result in results)
     diagnostics = {
         "n_scenarios": len(problems),
-        "n_solved": len(pending),
+        "n_solved": len(pending) - failed_scenarios,
         "cache_hits": cache_hits,
-        "n_workers": len(chunks) if parallel else 1,
+        "resumed_hits": resumed_hits,
+        "n_workers": n_workers,
         "n_chunks": len(chunks),
         "parallel": parallel,
+        "executor": executor_name,
+        "failure_mode": policy.failure_mode,
+        "n_retries": stats.n_retries,
+        "n_timeouts": stats.n_timeouts,
+        "n_pool_rebuilds": stats.pool_rebuilds,
+        "n_failed": failed_scenarios,
+        "checkpointed": checkpointed_scenarios,
         "methods": sorted(set(concrete)),
         "wall_seconds": time.perf_counter() - started,
     }
+    if failures:
+        diagnostics["failures"] = [failure.as_record() for failure in failures]
     if cache is not None:
         diagnostics["cache"] = cache.stats()
     return SweepResult(results=tuple(results), diagnostics=diagnostics)

@@ -13,7 +13,10 @@ scenarios out over worker processes (``ExperimentConfig.workers`` /
 
 from __future__ import annotations
 
+import os
+import sys
 from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -23,18 +26,99 @@ from repro.engine import (
     LifetimeProblem,
     ScenarioBatch,
     SolveWorkspace,
+    SweepCache,
     run_sweep,
     solve_lifetime,
 )
 from repro.workload.base import WorkloadModel
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import SweepProgress
+    from repro.experiments.registry import ExperimentConfig
+
 __all__ = [
     "approximation_curve",
     "approximation_curves",
+    "cache_stats",
     "exact_curve",
     "lifetime_problem",
+    "print_sweep_progress",
+    "shared_cache",
     "simulation_curve",
+    "sweep_options",
 ]
+
+#: One :class:`SweepCache` per cache directory per process, so hit/resume
+#: counters aggregate across all experiment drivers of one runner
+#: invocation instead of resetting sweep by sweep.
+_SHARED_CACHES: dict[str, SweepCache] = {}
+
+
+def shared_cache(
+    cache_dir: str | os.PathLike[str] | None, *, resume: bool = False
+) -> SweepCache | None:
+    """Return the process-wide :class:`SweepCache` for *cache_dir*.
+
+    Without *resume*, a directory that already holds checkpointed
+    scenarios is rejected: fingerprints cover solver inputs, not solver
+    code, so silently serving a previous run's entries across a code
+    change could report stale curves.  Resuming is an explicit decision
+    (``--resume`` / ``REPRO_RESUME=1``).
+    """
+    if cache_dir is None:
+        return None
+    directory = os.path.abspath(os.fspath(cache_dir))
+    cache = _SHARED_CACHES.get(directory)
+    if cache is None:
+        if not resume and os.path.isdir(directory):
+            entries = sum(1 for name in os.listdir(directory) if name.endswith(".pkl"))
+            if entries:
+                raise ValueError(
+                    f"cache directory {directory!r} already holds {entries} "
+                    "checkpointed scenario(s); pass --resume (REPRO_RESUME=1) to "
+                    "reuse them or point --cache-dir at a fresh directory"
+                )
+        cache = SweepCache(directory)
+        _SHARED_CACHES[directory] = cache
+    return cache
+
+
+def cache_stats(cache_dir: str | os.PathLike[str] | None) -> dict[str, int] | None:
+    """Statistics of the shared cache for *cache_dir*, if one was opened."""
+    if cache_dir is None:
+        return None
+    cache = _SHARED_CACHES.get(os.path.abspath(os.fspath(cache_dir)))
+    return None if cache is None else cache.stats()
+
+
+def print_sweep_progress(event: "SweepProgress") -> None:
+    """Progress callback for ``--progress``: one status line per event."""
+    line = f"  sweep: {event.done}/{event.total} scenarios"
+    if event.retries:
+        line += f", {event.retries} retried"
+    if event.failed:
+        line += f", {event.failed} failed"
+    if event.eta_seconds is not None and event.done < event.total:
+        line += f", eta {event.eta_seconds:.0f}s"
+    print(line, file=sys.stderr)
+
+
+def sweep_options(config: "ExperimentConfig | None") -> dict[str, Any]:
+    """The :func:`run_sweep` keyword options an :class:`ExperimentConfig` implies.
+
+    Threads the worker count, the shared durable cache (``cache_dir`` /
+    ``resume``) and the progress printer into every driver sweep with one
+    ``run_sweep(..., **sweep_options(config))`` call.
+    """
+    if config is None:
+        return {"max_workers": 1}
+    options: dict[str, Any] = {"max_workers": config.workers}
+    cache = shared_cache(config.cache_dir, resume=config.resume)
+    if cache is not None:
+        options["cache"] = cache
+    if config.progress:
+        options["progress"] = print_sweep_progress
+    return options
 
 
 def lifetime_problem(
@@ -88,16 +172,18 @@ def approximation_curves(
     *,
     label_format: str = "Delta={delta:g}",
     epsilon: float = 1e-8,
-    workers: int = 1,
+    config: "ExperimentConfig | None" = None,
 ) -> list[LifetimeDistribution]:
     """Run the Markovian approximation for several step sizes (as one sweep).
 
-    With ``workers > 1`` the step sizes are solved in parallel worker
-    processes; the results are identical to a serial run.
+    The sweep honours the *config*'s worker count, durable cache and
+    progress settings (:func:`sweep_options`); with ``workers > 1`` the
+    step sizes are solved in parallel worker processes and the results are
+    identical to a serial run.
     """
     base = lifetime_problem(workload, battery, times, delta=float(deltas[0]), epsilon=epsilon)
     batch = ScenarioBatch.over_deltas(base, [float(d) for d in deltas], label_format=label_format)
-    return run_sweep(batch, "mrm-uniformization", max_workers=workers).distributions
+    return run_sweep(batch, "mrm-uniformization", **sweep_options(config)).distributions
 
 
 def simulation_curve(

@@ -61,7 +61,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         [mah(d) for d in deltas_mah],
         times,
         label_format="C=500, c=1, Delta={delta:g} As",
-        workers=config.workers,
+        config=config,
     )
     curves.append(
         simulation_curve(
@@ -80,7 +80,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         [mah(d) for d in two_well_deltas],
         times,
         label_format="C=800, c=0.625, Delta={delta:g} As",
-        workers=config.workers,
+        config=config,
     )
     curves.append(
         simulation_curve(

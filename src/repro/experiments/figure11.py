@@ -20,7 +20,7 @@ from repro.analysis.report import format_series
 from repro.battery.parameters import KiBaMParameters
 from repro.battery.units import coulombs_from_milliamp_hours
 from repro.engine import ScenarioBatch, run_sweep
-from repro.experiments.common import lifetime_problem
+from repro.experiments.common import lifetime_problem, sweep_options
 from repro.experiments.registry import ExperimentConfig, ExperimentResult, register_experiment
 from repro.workload.burst import burst_workload
 from repro.workload.simple import simple_workload
@@ -51,7 +51,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         for label, workload in (("simple model", simple), ("burst model", burst))
     )
     simple_curve, burst_curve = run_sweep(
-        batch, "mrm-uniformization", max_workers=config.workers
+        batch, "mrm-uniformization", **sweep_options(config)
     ).distributions
 
     table = format_series([simple_curve, burst_curve], times, time_label="t (h)", time_scale=3600.0)

@@ -43,7 +43,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     if config.full:
         deltas += [5.0]
     curves = approximation_curves(
-        workload, battery, deltas, times, workers=config.workers
+        workload, battery, deltas, times, config=config
     )
 
     simulation = simulation_curve(

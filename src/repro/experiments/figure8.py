@@ -36,7 +36,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     if config.full:
         deltas += [25.0, 10.0]
     curves = approximation_curves(
-        workload, battery, deltas, times, workers=config.workers
+        workload, battery, deltas, times, config=config
     )
 
     simulation = simulation_curve(

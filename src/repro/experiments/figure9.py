@@ -22,7 +22,7 @@ from repro.analysis.comparison import stochastically_dominates
 from repro.analysis.report import format_series
 from repro.battery.parameters import KiBaMParameters, rao_battery_parameters
 from repro.engine import ScenarioBatch, run_sweep
-from repro.experiments.common import lifetime_problem
+from repro.experiments.common import lifetime_problem, sweep_options
 from repro.experiments.registry import ExperimentConfig, ExperimentResult, register_experiment
 from repro.workload.onoff import onoff_workload
 
@@ -56,7 +56,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         for label, battery, delta in scenarios
     )
     curves = run_sweep(
-        batch, "mrm-uniformization", max_workers=config.workers
+        batch, "mrm-uniformization", **sweep_options(config)
     ).distributions
 
     table = format_series(curves, times, time_label="t (s)")

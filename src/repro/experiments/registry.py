@@ -35,25 +35,51 @@ class ExperimentConfig:
         Worker-process count for the drivers' scenario sweeps (routed
         through :func:`repro.engine.run_sweep`); ``1`` keeps everything
         in-process.  ``REPRO_WORKERS`` or ``--workers`` overrides it.
+    cache_dir:
+        Optional directory for a durable scenario cache: the drivers'
+        sweeps checkpoint every solved scenario there as they go and are
+        answered from it on re-runs.  ``REPRO_CACHE_DIR`` or
+        ``--cache-dir`` sets it; ``None`` keeps the sweeps cache-free.
+    resume:
+        Allow reusing checkpoints that already exist under ``cache_dir``
+        (a previous -- possibly killed -- run's frontier).  Without it a
+        non-empty cache directory is rejected rather than silently
+        served, because scenario fingerprints cover inputs, not solver
+        code: resuming across a code change is an explicit decision.
+    progress:
+        Print sweep progress/ETA lines to stderr while the drivers solve.
     """
 
     full: bool = False
     n_simulation_runs: int = 1000
     seed: int = 20070625
     workers: int = 1
+    cache_dir: str | None = None
+    resume: bool = False
+    progress: bool = False
 
     @classmethod
     def from_environment(cls) -> "ExperimentConfig":
         """Build a configuration from the ``REPRO_*`` environment variables.
 
-        ``REPRO_FULL=1`` enables the full (slow) settings,
-        ``REPRO_SIM_RUNS`` overrides the number of simulation runs and
-        ``REPRO_WORKERS`` sets the sweep worker-process count.
+        ``REPRO_FULL=1`` enables the full (slow) settings, ``REPRO_SIM_RUNS``
+        overrides the number of simulation runs, ``REPRO_WORKERS`` sets the
+        sweep worker-process count, ``REPRO_CACHE_DIR`` points the sweeps at
+        a durable scenario cache and ``REPRO_RESUME=1`` allows reusing the
+        checkpoints already in it.
         """
         full = os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
         runs = int(os.environ.get("REPRO_SIM_RUNS", "1000"))
         workers = int(os.environ.get("REPRO_WORKERS", "1"))
-        return cls(full=full, n_simulation_runs=runs, workers=workers)
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip() or None
+        resume = os.environ.get("REPRO_RESUME", "0") not in ("", "0", "false", "False")
+        return cls(
+            full=full,
+            n_simulation_runs=runs,
+            workers=workers,
+            cache_dir=cache_dir,
+            resume=resume,
+        )
 
 
 @dataclass

@@ -2,12 +2,17 @@
 
 ``python -m repro.experiments.runner`` executes every registered experiment
 with the configuration taken from the environment (``REPRO_FULL``,
-``REPRO_SIM_RUNS``, ``REPRO_WORKERS``) and prints the rendered results;
-this is the textual equivalent of regenerating every table and figure of
-the paper.  Pass experiment names (``python -m repro.experiments.runner
-figure7 table1``) to run a subset, ``--workers N`` to fan the drivers'
-scenario sweeps out over N worker processes (the results are identical to
-a serial run), or ``--list`` to enumerate what is registered.
+``REPRO_SIM_RUNS``, ``REPRO_WORKERS``, ``REPRO_CACHE_DIR``,
+``REPRO_RESUME``) and prints the rendered results; this is the textual
+equivalent of regenerating every table and figure of the paper.  Pass
+experiment names (``python -m repro.experiments.runner figure7 table1``)
+to run a subset, ``--workers N`` to fan the drivers' scenario sweeps out
+over N worker processes (the results are identical to a serial run),
+``--cache-dir DIR`` to checkpoint every solved scenario durably (with
+``--resume`` re-runs -- including runs killed mid-sweep -- are answered
+from the checkpoints instead of re-solving), ``--progress`` for sweep
+progress/ETA lines on stderr, or ``--list`` to enumerate what is
+registered.
 
 All drivers obtain their curves through the unified solver engine
 (:mod:`repro.engine`) and its parallel sweep layer
@@ -27,7 +32,7 @@ from repro.experiments.registry import (
     get_experiment,
 )
 
-__all__ = ["run_all", "run_experiment", "main"]
+__all__ = ["cache_summary", "run_all", "run_experiment", "main"]
 
 
 def run_experiment(name: str, config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -67,6 +72,25 @@ def main(argv=None) -> None:
         help="worker processes for the scenario sweeps "
         "(default: REPRO_WORKERS or 1; results are identical to a serial run)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="checkpoint every solved sweep scenario to DIR as it finishes "
+        "(default: REPRO_CACHE_DIR; a killed run resumes from DIR with --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        default=None,
+        help="reuse the checkpoints already in the cache directory "
+        "(default: REPRO_RESUME; without it a non-empty directory is rejected)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print sweep progress/ETA lines to stderr while solving",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.list:
@@ -79,6 +103,14 @@ def main(argv=None) -> None:
         if arguments.workers < 1:
             parser.error("--workers must be at least 1")
         config = replace(config, workers=arguments.workers)
+    if arguments.cache_dir is not None:
+        config = replace(config, cache_dir=arguments.cache_dir)
+    if arguments.resume is not None:
+        config = replace(config, resume=arguments.resume)
+    if arguments.progress:
+        config = replace(config, progress=True)
+    if config.resume and config.cache_dir is None:
+        parser.error("--resume needs a cache directory (--cache-dir or REPRO_CACHE_DIR)")
     names = arguments.experiments or available_experiments()
     known = set(available_experiments())
     unknown = [name for name in names if name not in known]
@@ -91,6 +123,32 @@ def main(argv=None) -> None:
         result = run_experiment(name, config)
         print(result.render())
         print()
+    summary = cache_summary(config)
+    if summary:
+        print(summary)
+
+
+def cache_summary(config: ExperimentConfig) -> str | None:
+    """Render the run's durable-cache summary (``None`` without a cache).
+
+    Reports how many sweep scenarios were served from the cache
+    (``cache_hit``) and how many of those were recovered from on-disk
+    checkpoints written by an earlier run (``resumed_hits``) -- the number
+    a resumed run did *not* have to re-solve.
+    """
+    from repro.experiments.common import cache_stats
+
+    stats = cache_stats(config.cache_dir)
+    if stats is None:
+        return None
+    return (
+        "-- sweep cache --\n"
+        f"  directory: {config.cache_dir}\n"
+        f"  cache_hit: {stats['hits']} scenario(s) served from cache\n"
+        f"  resumed_hits: {stats['disk_hits']} recovered from on-disk checkpoints\n"
+        f"  entries: {stats['entries']} in memory, {stats['disk_entries']} on disk"
+        + (f", {stats['quarantined']} quarantined" if stats["quarantined"] else "")
+    )
 
 
 if __name__ == "__main__":

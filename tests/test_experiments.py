@@ -113,3 +113,61 @@ class TestFigure2Experiment:
 
     def test_lifetime_shortly_after_12000_seconds(self, result):
         assert 11000.0 < result.data["lifetime_seconds"] < 13500.0
+
+
+class TestDurableCachePlumbing:
+    def test_config_reads_cache_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/some-cache")
+        monkeypatch.setenv("REPRO_RESUME", "1")
+        config = ExperimentConfig.from_environment()
+        assert config.cache_dir == "/tmp/some-cache"
+        assert config.resume is True
+
+    def test_config_cache_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_RESUME", raising=False)
+        config = ExperimentConfig.from_environment()
+        assert config.cache_dir is None
+        assert config.resume is False
+
+    def test_sweep_options_without_config(self):
+        from repro.experiments.common import sweep_options
+
+        assert sweep_options(None) == {"max_workers": 1}
+
+    def test_sweep_options_thread_cache_and_progress(self, monkeypatch, tmp_path):
+        from repro.engine import SweepCache
+        from repro.experiments import common
+
+        monkeypatch.setattr(common, "_SHARED_CACHES", {})
+        config = ExperimentConfig(workers=2, cache_dir=str(tmp_path), progress=True)
+        options = common.sweep_options(config)
+        assert options["max_workers"] == 2
+        assert isinstance(options["cache"], SweepCache)
+        assert options["progress"] is common.print_sweep_progress
+        # The same directory maps to the same cache instance, so hit and
+        # resume counters aggregate across all drivers of one run.
+        assert common.sweep_options(config)["cache"] is options["cache"]
+
+    def test_warm_directory_requires_resume(self, monkeypatch, tmp_path):
+        from repro.experiments import common
+
+        monkeypatch.setattr(common, "_SHARED_CACHES", {})
+        (tmp_path / "deadbeef.pkl").write_bytes(b"x")
+        with pytest.raises(ValueError, match="pass --resume"):
+            common.shared_cache(tmp_path)
+        assert common.shared_cache(tmp_path, resume=True) is not None
+
+    def test_cache_summary_reports_hits_and_resumes(self, monkeypatch, tmp_path):
+        from repro.experiments import common
+        from repro.experiments.runner import cache_summary
+
+        monkeypatch.setattr(common, "_SHARED_CACHES", {})
+        config = ExperimentConfig(cache_dir=str(tmp_path))
+        assert cache_summary(config) is None  # no sweep opened the cache yet
+        common.shared_cache(tmp_path)
+        summary = cache_summary(config)
+        assert summary is not None
+        assert "cache_hit: 0" in summary
+        assert "resumed_hits: 0" in summary
+        assert cache_summary(ExperimentConfig()) is None

@@ -1,5 +1,7 @@
 """Tests for the parallel scenario-sweep subsystem (:mod:`repro.engine.sweep`)."""
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -13,7 +15,7 @@ from repro.engine import (
     run_sweep,
     scenario_fingerprint,
 )
-from repro.engine.sweep import _partition, default_worker_count
+from repro.engine.sweep import CACHE_SCHEMA_VERSION, _partition, default_worker_count
 from repro.workload.onoff import onoff_workload
 
 TIMES = np.linspace(2000.0, 6000.0, 9)
@@ -288,6 +290,103 @@ class TestSweepCache:
         assert stats["entries"] == len(spec)
         assert stats["misses"] == len(spec)
         assert stats["hits"] == 0
+        # A memory-only cache has nothing on disk and nothing quarantined.
+        assert stats["disk_entries"] == 0
+        assert stats["disk_hits"] == 0
+        assert stats["quarantined"] == 0
+
+
+class TestCacheVersioning:
+    @staticmethod
+    def _solved(spec, tmp_path) -> SweepCache:
+        cache = SweepCache(tmp_path)
+        run_sweep(spec, max_workers=1, cache=cache)
+        return cache
+
+    def test_entries_are_version_stamped_envelopes(self, spec, tmp_path):
+        from repro import __version__
+
+        self._solved(spec, tmp_path)
+        paths = list(tmp_path.glob("*.pkl"))
+        assert len(paths) == len(spec)
+        for path in paths:
+            envelope = pickle.loads(path.read_bytes())
+            assert envelope["schema"] == CACHE_SCHEMA_VERSION
+            assert envelope["repro_version"] == __version__
+            assert envelope["fingerprint"] == path.stem
+
+    def test_stale_schema_entries_are_quarantined_not_served(self, spec, tmp_path):
+        self._solved(spec, tmp_path)
+        for path in tmp_path.glob("*.pkl"):
+            envelope = pickle.loads(path.read_bytes())
+            envelope["schema"] = CACHE_SCHEMA_VERSION + 1
+            path.write_bytes(pickle.dumps(envelope))
+        fresh = SweepCache(tmp_path)
+        outcome = run_sweep(spec, max_workers=1, cache=fresh)
+        # Nothing stale was served: every scenario was re-solved, and the
+        # evidence survives as *.corrupt files next to the fresh entries.
+        assert outcome.diagnostics["n_solved"] == len(spec)
+        assert fresh.stats()["quarantined"] == len(spec)
+        assert len(list(tmp_path.glob("*.corrupt"))) == len(spec)
+        assert fresh.stats()["disk_entries"] == len(spec)
+
+    def test_legacy_bare_pickles_are_quarantined(self, spec, tmp_path):
+        self._solved(spec, tmp_path)
+        # The pre-envelope format persisted the bare result object.
+        for path in tmp_path.glob("*.pkl"):
+            envelope = pickle.loads(path.read_bytes())
+            path.write_bytes(pickle.dumps(envelope["result"]))
+        fresh = SweepCache(tmp_path)
+        outcome = run_sweep(spec, max_workers=1, cache=fresh)
+        assert outcome.diagnostics["n_solved"] == len(spec)
+        assert fresh.stats()["quarantined"] == len(spec)
+
+    def test_unreadable_entries_are_quarantined(self, spec, tmp_path):
+        self._solved(spec, tmp_path)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        fresh = SweepCache(tmp_path)
+        run_sweep(spec, max_workers=1, cache=fresh)
+        assert fresh.stats()["quarantined"] == len(spec)
+
+    def test_stats_report_disk_entries_and_disk_hits(self, spec, tmp_path):
+        cache = self._solved(spec, tmp_path)
+        assert cache.stats()["disk_entries"] == len(spec)
+        assert cache.stats()["disk_hits"] == 0
+        fresh = SweepCache(tmp_path)
+        run_sweep(spec, max_workers=1, cache=fresh)
+        stats = fresh.stats()
+        assert stats["disk_hits"] == len(spec)
+        assert stats["hits"] == len(spec)
+        assert stats["entries"] == len(spec)
+
+    def test_memory_only_put_skips_the_disk(self, tmp_path):
+        problem = LifetimeProblem(
+            workload=onoff_workload(frequency=1.0),
+            battery=small_battery(),
+            times=TIMES,
+            delta=50.0,
+        )
+        result = run_sweep([problem], "mrm-uniformization", max_workers=1)[0]
+        cache = SweepCache(tmp_path)
+        cache.put("a" * 16, result, memory_only=True)
+        assert cache.stats()["entries"] == 1
+        assert cache.stats()["disk_entries"] == 0
+        cache.put("b" * 16, result)
+        assert cache.stats()["disk_entries"] == 1
+
+
+class TestSweepScenarioErrorPickling:
+    def test_round_trip_preserves_message_and_labels(self):
+        error = SweepScenarioError("scenario 'x' failed: boom", ("x", "y"))
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, SweepScenarioError)
+        assert str(clone) == str(error)
+        assert clone.labels == ("x", "y")
+
+    def test_round_trip_with_default_labels(self):
+        clone = pickle.loads(pickle.dumps(SweepScenarioError("bare")))
+        assert clone.labels == ()
 
 
 class TestPartitioning:
@@ -326,3 +425,32 @@ class TestPartitioning:
 
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
+
+    def test_equal_cost_groups_partition_deterministically(self):
+        # Monte-Carlo scenarios with the same n_runs all estimate the same
+        # cost, so the LPT tie-break (first scenario index) is what keeps
+        # the assignment stable -- it must depend only on the scenario list.
+        scenarios = [
+            (
+                index,
+                LifetimeProblem(
+                    workload=onoff_workload(frequency=1.0),
+                    battery=small_battery(),
+                    times=TIMES,
+                    delta=50.0,
+                    seed=index,
+                    label=f"mc scenario {index}",
+                ),
+                "monte-carlo",
+            )
+            for index in range(4)
+        ]
+
+        def shape(chunks):
+            return [[indices for indices, _, _ in chunk] for chunk in chunks]
+
+        first = shape(_partition(scenarios, 2))
+        # Equal costs fall back to first-index order, round-robined by the
+        # greedy least-loaded rule.
+        assert first == [[[0], [2]], [[1], [3]]]
+        assert shape(_partition(scenarios, 2)) == first
