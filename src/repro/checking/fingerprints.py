@@ -32,6 +32,7 @@ from __future__ import annotations
 __all__ = [
     "EXECUTION_POLICY_EXEMPT",
     "FINGERPRINT_FIELDS",
+    "TRACE_EXEMPT",
     "FingerprintRegistryError",
     "audit_fingerprint_registry",
     "registered_fields",
@@ -98,6 +99,10 @@ FINGERPRINT_FIELDS = {
             # retried scenario must hit the cache entry its first attempt
             # would have written.
             "execution",
+            # Observability: whether (and how verbosely) a sweep was
+            # traced cannot change its results, and a traced re-run must
+            # be served from the untraced run's cache entries.
+            "trace",
         ),
     },
 }
@@ -108,6 +113,14 @@ FINGERPRINT_FIELDS = {
 #: change sweep cache keys.
 EXECUTION_POLICY_EXEMPT = {
     "SweepSpec": ("execution",),
+}
+
+#: Trace knobs that must stay fingerprint-*exempt* forever, for the same
+#: reason as :data:`EXECUTION_POLICY_EXEMPT`: observing a sweep (the
+#: ``REPRO_TRACE`` mode carried on the spec) cannot change its curves, so
+#: a traced re-run must hit the cache entries an untraced run wrote.
+TRACE_EXEMPT = {
+    "SweepSpec": ("trace",),
 }
 
 
@@ -192,6 +205,21 @@ def audit_fingerprint_registry() -> None:
             elif field_name not in entry["exempt"]:
                 problems.append(
                     f"{name}: execution-policy field {field_name!r} is missing "
+                    "from the exempt declaration"
+                )
+    # Trace knobs likewise: a traced re-run must hit the cache entries an
+    # untraced run wrote, so the trace mode can never enter a fingerprint.
+    for name, exempt_fields in TRACE_EXEMPT.items():
+        entry = FINGERPRINT_FIELDS.get(name, {"relevant": (), "exempt": ()})
+        for field_name in exempt_fields:
+            if field_name in entry["relevant"]:
+                problems.append(
+                    f"{name}: trace field {field_name!r} must stay "
+                    "fingerprint-exempt (declared relevant)"
+                )
+            elif field_name not in entry["exempt"]:
+                problems.append(
+                    f"{name}: trace field {field_name!r} is missing "
                     "from the exempt declaration"
                 )
     if problems:

@@ -23,7 +23,7 @@ import numpy as np
 import numpy.typing as npt
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from collections.abc import Callable
+    from collections.abc import Callable, Mapping
 
     import scipy.sparse as sp
 
@@ -37,6 +37,7 @@ __all__ = [
     "IntArray",
     "SchedulerPolicy",
     "SweepExecutor",
+    "TraceSink",
     "UniformizationKernel",
 ]
 
@@ -187,6 +188,29 @@ class SweepExecutor(Protocol):
 
     def shutdown(self) -> None:
         """Release the backend's resources (kill in-flight work if needed)."""
+        ...
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """A destination for finished trace spans, checked by shape.
+
+    :class:`~repro.obs.trace.JsonlTraceSink` is the shipped
+    implementation; anything that accepts flat span records -- an
+    OpenTelemetry bridge, a ring buffer, a test double -- conforms by
+    implementing these two methods.  Records are plain mappings (the
+    :meth:`repro.obs.trace.Span.as_record` shape: ``name``, ``span_id``,
+    ``parent_id``, ``start``, ``end``, ``pid`` and optional ``attrs``);
+    this module imports no obs types, mirroring how the executor seam
+    stays engine-free.
+    """
+
+    def emit(self, record: "Mapping[str, Any]") -> None:
+        """Accept one finished span record."""
+        ...
+
+    def flush(self) -> None:
+        """Persist anything buffered (called at export/shutdown)."""
         ...
 
 

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.distribution import LifetimeDistribution
 from repro.core.discretization import DiscretizedKiBaMRM, place_initial_distribution
 from repro.engine.problem import LifetimeProblem
@@ -307,17 +308,24 @@ class ScenarioBatch:
             row_of.append(row)
 
         merged_times = np.unique(np.concatenate([problem.times for problem in group]))
-        transient = propagator.transient_batch(
-            np.stack(stack),
-            merged_times,
-            epsilon=float(group[0].epsilon),
-            projection=ws.empty_projection(chain, key),
-            mode=group[0].transient_mode,
-        )
+        with obs.span(
+            "batch_solve", size=len(group), rows=len(stack), kernel=kernel
+        ):
+            transient = propagator.transient_batch(
+                np.stack(stack),
+                merged_times,
+                epsilon=float(group[0].epsilon),
+                projection=ws.empty_projection(chain, key),
+                mode=group[0].transient_mode,
+            )
         # Steady-state notes key on the physical chain (the flattening time
         # is backend-independent), not on the workspace build key.
         ws.note_steady_state(anchor.chain_key(), transient.steady_state_time)
         elapsed = time.perf_counter() - started
+        obs.count("kernel_selected." + transient.kernel)
+        if transient.steady_state_time is not None:
+            obs.count("steady_state_detections")
+        obs.observe("solve_seconds.mrm_batch", elapsed)
 
         results = []
         for index, problem in enumerate(group):

@@ -14,6 +14,26 @@ gives runtime code and tests the same check.
 ``DIAGNOSTICS_SCHEMA`` must stay a pure ``{str: str}`` literal -- the
 lint pass reads it with ``ast.literal_eval`` without importing the
 package.
+
+The schema doubles as the *map* of who writes what.  Keys are grouped,
+in order, by producing layer:
+
+* **shared MRM solve telemetry** -- ``build_mrm_result``
+  (:mod:`repro.engine.result`) stamps these on every uniformisation
+  solve;
+* **transient fast-path telemetry** -- ``transient_diagnostics``
+  (:mod:`repro.markov.uniformization`) via the MRM solvers;
+* **analytic / Monte-Carlo / auto** -- the respective solvers of
+  :mod:`repro.engine.solvers`;
+* **scenario batching** -- :mod:`repro.engine.batch` group solves;
+* **workspace reuse** -- :class:`~repro.engine.workspace.SolveWorkspace`
+  chain/Poisson cache accounting;
+* **sweep driver** -- :func:`~repro.engine.sweep.run_sweep` aggregates;
+* **fault-tolerant execution** -- :func:`~repro.engine.executor.execute_chunks`
+  retry/timeout/degrade accounting, surfaced through the sweep;
+* **observability** -- :mod:`repro.obs` trace/metrics summaries attached
+  by ``run_sweep`` (the ``"metrics"`` value is a nested
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict).
 """
 
 from __future__ import annotations
@@ -94,6 +114,10 @@ DIAGNOSTICS_SCHEMA = {
     "checkpointed": "scenarios durably checkpointed by workers this run",
     "failure": "structured ScenarioFailure record of one failed slot",
     "failures": "all ScenarioFailure records of a degraded sweep",
+    # -- observability (repro.obs) ---------------------------------------
+    "trace_mode": "REPRO_TRACE mode the sweep ran under (off/summary/full)",
+    "n_spans": "trace spans held by the driver tracer after the sweep",
+    "metrics": "obs metrics snapshot (counters/gauges/histograms) of the run",
 }
 
 #: The allowed key set, for fast membership checks.

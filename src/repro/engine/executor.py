@@ -41,6 +41,8 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Any
 
+from repro import obs
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from collections.abc import Callable, Mapping, Sequence
 
@@ -171,9 +173,11 @@ class ChunkTask:
     everything a worker needs beyond the problems themselves: the attempt
     counter (consulted by the fault injectors and reported in failures),
     the checkpoint directory and per-scenario cache fingerprints (so the
-    worker can stream each solved group durably to disk), and the active
+    worker can stream each solved group durably to disk), the active
     fault spec (so :func:`~repro.engine.faults.override_faults` in the
-    parent reaches workers without environment inheritance).
+    parent reaches workers without environment inheritance), and the
+    trace mode (so ``repro.obs.override_trace`` in a worker mirrors the
+    driver's ``REPRO_TRACE`` the same way).
     """
 
     task_id: int
@@ -182,6 +186,7 @@ class ChunkTask:
     checkpoint_dir: str | None = None
     fingerprints: "Mapping[int, str]" = dataclasses.field(default_factory=dict)
     faults: str = ""
+    trace: str = ""
 
     @property
     def indices(self) -> tuple[int, ...]:
@@ -504,6 +509,12 @@ def execute_chunks(
     mode); the executor is always shut down, killing in-flight workers on
     an abort.  Backoff is driven by a ready-time priority queue, so a
     backing-off chunk never blocks other chunks from being submitted.
+
+    When tracing is active (:mod:`repro.obs`), every attempt is recorded
+    as a ``chunk_attempt`` span bracketing submit-to-outcome on the
+    driver timeline, every backoff wait as a ``backoff`` span, and the
+    spans a worker shipped back inside its payload (any object with a
+    ``spans`` attribute) are re-parented under the attempt span.
     """
     stats = ExecutionStats()
     sequence = 0
@@ -513,11 +524,30 @@ def execute_chunks(
         heapq.heappush(ready, (0.0, sequence, task))
         sequence += 1
     inflight = 0
+    # Per-attempt submit timestamps, pending backoff starts and retry
+    # lineage, keyed by task_id (unique per attempt: retries always get a
+    # fresh id).  The lineage lets a trace reader chain a retry's spans
+    # back to the failed attempt it follows.
+    submitted: dict[int, float] = {}
+    backing_off: dict[int, float] = {}
+    retry_of: dict[int, int] = {}
     try:
         while ready or inflight:
             now = time.monotonic()
             while ready and inflight < executor.capacity and ready[0][0] <= now:
                 _, _, task = heapq.heappop(ready)
+                submit_at = obs.now()
+                wait_started = backing_off.pop(task.task_id, None)
+                if wait_started is not None:
+                    obs.record_span(
+                        "backoff",
+                        start=wait_started,
+                        end=submit_at,
+                        task_id=task.task_id,
+                        attempt=task.attempt,
+                        retry_of=retry_of.get(task.task_id),
+                    )
+                submitted[task.task_id] = submit_at
                 executor.submit(task)
                 inflight += 1
             if inflight == 0:
@@ -533,27 +563,55 @@ def execute_chunks(
                         validate(task, outcome.payload)
                     except CorruptResultError as corrupt:
                         error = corrupt
+                status = "ok" if error is None else ("timeout" if outcome.timed_out else "failed")
+                attempt_started = submitted.pop(task.task_id, None)
+                attempt_span: str | None = None
+                if attempt_started is not None:
+                    attempt_span = obs.record_span(
+                        "chunk_attempt",
+                        start=attempt_started,
+                        end=obs.now(),
+                        task_id=task.task_id,
+                        attempt=task.attempt,
+                        n_scenarios=task.n_scenarios,
+                        status=status,
+                        retry_of=retry_of.get(task.task_id),
+                    )
                 if error is None:
+                    worker_spans = getattr(outcome.payload, "spans", None)
+                    if worker_spans and attempt_span is not None and attempt_started is not None:
+                        obs.ingest_spans(
+                            worker_spans,
+                            parent_id=attempt_span,
+                            align_start=attempt_started,
+                        )
                     on_success(task, outcome.payload)
                     continue
                 if outcome.timed_out:
                     stats.n_timeouts += 1
+                    obs.count("executor_timeouts")
                 if task.attempt >= policy.max_retries:
                     stats.n_failed_tasks += 1
+                    obs.count("executor_exhausted_tasks")
                     on_failure(task, error, outcome.timed_out)
                     continue
                 stats.n_retries += 1
+                obs.count("executor_retries")
                 if on_retry is not None:
                     on_retry(task)
                 due = time.monotonic() + policy.backoff(task.attempt)
                 pieces = task.split_groups() if policy.split_on_retry else [task.groups]
                 if len(pieces) > 1:
                     stats.n_splits += 1
+                    obs.count("executor_splits")
+                wait_from = obs.now()
                 for piece in pieces:
                     retry = dataclasses.replace(
                         task, task_id=next_id, groups=piece, attempt=task.attempt + 1
                     )
                     next_id += 1
+                    backing_off[retry.task_id] = wait_from
+                    retry_of[retry.task_id] = task.task_id
                     heapq.heappush(ready, (due, sequence, retry))
                     sequence += 1
     finally:

@@ -22,12 +22,12 @@ chain stays tractable, Monte-Carlo beyond that.
 
 from __future__ import annotations
 
-import time
 from dataclasses import replace
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.distribution import LifetimeDistribution
 from repro.battery.kibam import KineticBatteryModel
 from repro.engine.base import UnsupportedProblemError
@@ -190,17 +190,20 @@ class AnalyticSolver:
                 "the analytic occupation-time solver requires at most two distinct "
                 "currents and no well-to-well transfer (c = 1 or k = 0)"
             )
-        started = time.perf_counter()
+        started = obs.now()
         workload = problem.workload
-        probabilities = two_level_lifetime_cdf(
-            workload.generator,
-            workload.initial_distribution,
-            workload.currents,
-            problem.battery.available_capacity,
-            problem.times,
-            epsilon=problem.epsilon,
-        )
-        elapsed = time.perf_counter() - started
+        with obs.span("solve", method=self.name, label=problem.label or ""):
+            probabilities = two_level_lifetime_cdf(
+                workload.generator,
+                workload.initial_distribution,
+                workload.currents,
+                problem.battery.available_capacity,
+                problem.times,
+                epsilon=problem.epsilon,
+            )
+        elapsed = obs.now() - started
+        obs.count("solves." + self.name)
+        obs.observe("solve_seconds." + self.name, elapsed)
         label = problem.label or "exact (occupation-time algorithm)"
         distribution = LifetimeDistribution(
             times=problem.times,
@@ -235,26 +238,34 @@ class MRMUniformizationSolver:
     def solve(
         self, problem: LifetimeProblem, *, workspace: SolveWorkspace | None = None
     ) -> LifetimeResult:
-        started = time.perf_counter()
+        started = obs.now()
         ws = workspace if workspace is not None else SolveWorkspace()
         delta = problem.effective_delta
         backend, build_key = _backend_and_key(problem, delta)
-        chain = ws.discretized(problem.model(), delta, build_key, backend=backend)
-        # The kernel joins the propagator cache key (not the chain build
-        # key): the same chain build serves every kernel, but each kernel
-        # holds its own prepared form of the uniformised matrix.
-        propagator = ws.propagator(
-            chain, build_key + (("kernel", problem.kernel),), kernel=problem.kernel
-        )
+        with obs.span("solve", method=self.name, label=problem.label or ""):
+            chain = ws.discretized(problem.model(), delta, build_key, backend=backend)
+            # The kernel joins the propagator cache key (not the chain build
+            # key): the same chain build serves every kernel, but each kernel
+            # holds its own prepared form of the uniformised matrix.
+            propagator = ws.propagator(
+                chain, build_key + (("kernel", problem.kernel),), kernel=problem.kernel
+            )
 
-        transient = propagator.transient_batch(
-            chain.initial_distribution[None, :],
-            problem.times,
-            epsilon=problem.epsilon,
-            projection=ws.empty_projection(chain, build_key),
-            mode=problem.transient_mode,
-        )
+            with obs.span("transient", mode=problem.transient_mode):
+                transient = propagator.transient_batch(
+                    chain.initial_distribution[None, :],
+                    problem.times,
+                    epsilon=problem.epsilon,
+                    projection=ws.empty_projection(chain, build_key),
+                    mode=problem.transient_mode,
+                )
         ws.note_steady_state(problem.chain_key(), transient.steady_state_time)
+        elapsed = obs.now() - started
+        obs.count("solves." + self.name)
+        obs.count("kernel_selected." + transient.kernel)
+        if transient.steady_state_time is not None:
+            obs.count("steady_state_detections")
+        obs.observe("solve_seconds." + self.name, elapsed)
         extra = {} if backend is None else {"backend": backend}
         return build_mrm_result(
             problem,
@@ -265,7 +276,7 @@ class MRMUniformizationSolver:
             extra_diagnostics={
                 **transient_diagnostics(transient),
                 **extra,
-                "wall_seconds": time.perf_counter() - started,
+                "wall_seconds": elapsed,
             },
         )
 
@@ -325,28 +336,31 @@ class MonteCarloSolver:
     def solve(
         self, problem: LifetimeProblem, *, workspace: SolveWorkspace | None = None
     ) -> LifetimeResult:
-        started = time.perf_counter()
+        started = obs.now()
         horizon, horizon_diagnostics = self._effective_horizon(problem, workspace)
-        if problem.is_multibattery:
-            simulation = simulate_system_lifetime_distribution(
-                problem.workload,
-                problem.batteries,
-                problem.policy,
-                failures_to_die=problem.failures_to_die,
-                n_runs=problem.n_runs,
-                seed=problem.seed,
-                horizon=horizon,
-            )
-        else:
-            simulation = simulate_lifetime_distribution(
-                problem.workload,
-                KineticBatteryModel(problem.battery),
-                n_runs=problem.n_runs,
-                seed=problem.seed,
-                horizon=horizon,
-            )
-        probabilities = np.asarray(simulation.cdf(problem.times), dtype=float)
-        elapsed = time.perf_counter() - started
+        with obs.span("solve", method=self.name, label=problem.label or ""):
+            if problem.is_multibattery:
+                simulation = simulate_system_lifetime_distribution(
+                    problem.workload,
+                    problem.batteries,
+                    problem.policy,
+                    failures_to_die=problem.failures_to_die,
+                    n_runs=problem.n_runs,
+                    seed=problem.seed,
+                    horizon=horizon,
+                )
+            else:
+                simulation = simulate_lifetime_distribution(
+                    problem.workload,
+                    KineticBatteryModel(problem.battery),
+                    n_runs=problem.n_runs,
+                    seed=problem.seed,
+                    horizon=horizon,
+                )
+            probabilities = np.asarray(simulation.cdf(problem.times), dtype=float)
+        elapsed = obs.now() - started
+        obs.count("solves." + self.name)
+        obs.observe("solve_seconds." + self.name, elapsed)
 
         label = problem.label or f"simulation ({problem.n_runs} runs)"
         distribution = LifetimeDistribution(
@@ -440,6 +454,7 @@ class AutoSolver:
             problem = problem.with_backend(
                 problem.resolved_backend(assembled_limit=self.max_mrm_states)
             )
+        obs.count("auto_dispatch." + method)
         result = get_solver(method).solve(problem, workspace=workspace)
         diagnostics = dict(result.diagnostics)
         diagnostics["auto_dispatched_to"] = method

@@ -39,13 +39,14 @@ import hashlib
 import os
 import pickle
 import tempfile
-import time
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, replace
+from contextlib import ExitStack
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.distribution import LifetimeDistribution
 from repro.battery.parameters import KiBaMParameters
 from repro.engine.batch import BatchResult, ScenarioBatch, chain_merge_key
@@ -379,6 +380,13 @@ class SweepSpec:
         per-chunk timeout, backoff, failure mode) applied when the spec is
         run; like ``transient_mode``, excluded from the cache fingerprints
         -- how a result was obtained cannot change it.
+    trace:
+        Optional declarative trace mode (``"off"``, ``"summary"`` or
+        ``"full"``) scoped to this spec's run via
+        :func:`repro.obs.override_trace`; ``None`` defers to the
+        process-wide ``REPRO_TRACE`` knob.  Like ``execution``, excluded
+        from the cache fingerprints -- observing a sweep cannot change
+        its results.
     """
 
     workloads: Sequence[WorkloadModel | str]
@@ -395,6 +403,7 @@ class SweepSpec:
     transient_mode: str = "incremental"
     kernel: str = "auto"
     execution: ExecutionPolicy | None = None
+    trace: str | None = None
 
     def __len__(self) -> int:
         return (
@@ -593,10 +602,73 @@ def _partition(
     return [chunk for chunk in chunks if chunk]
 
 
-#: One worker payload: per chain-sharing group, the scenario indices, the
-#: solved results (scenario order within the group) and whether the worker
+#: One solved chain-sharing group: the scenario indices, the solved
+#: results (scenario order within the group) and whether the worker
 #: already checkpointed them to the cache directory.
-ChunkPayload = list[tuple[list[int], list[LifetimeResult], bool]]
+ChunkGroupResult = tuple[list[int], list[LifetimeResult], bool]
+
+
+@dataclass
+class ChunkPayload:
+    """One worker's result envelope: solved groups plus its trace spans.
+
+    ``spans`` carries the worker tracer's finished spans (as
+    :meth:`repro.obs.Span.as_record` dicts) when the task requested
+    tracing; :func:`~repro.engine.executor.execute_chunks` re-parents
+    them under the driver's ``chunk_attempt`` span.  The executor layer
+    discovers them by duck-typing (``getattr(payload, "spans", None)``),
+    so it stays free of engine imports.
+    """
+
+    groups: list[ChunkGroupResult]
+    spans: list[dict[str, Any]] = field(default_factory=list)
+
+
+def _solve_chunk_groups(task: ChunkTask) -> list[ChunkGroupResult]:
+    """Solve every chain-sharing group of *task* (see :func:`_solve_chunk_task`)."""
+    plan = FaultPlan.from_spec(task.faults)
+    workspace = SolveWorkspace(horizon_caps=False)
+    groups: list[ChunkGroupResult] = []
+    with obs.span("chunk_solve", task_id=task.task_id, attempt=task.attempt):
+        for group_indices, method, group_problems in task.groups:
+            indices = list(group_indices)
+            problems = list(group_problems)
+            labels = tuple(
+                problem.label or f"scenario #{index}"
+                for index, problem in zip(indices, problems)
+            )
+            try:
+                if plan.enabled:
+                    for label in labels:
+                        plan.before_scenario(label, task.attempt)
+                with obs.span("group_solve", method=method, size=len(problems)):
+                    outcome = ScenarioBatch(problems).run(method, workspace=workspace)
+            except Exception as error:
+                # Attach the failing scenarios' identity: a bare worker
+                # exception is useless in a sweep of hundreds of scenarios.
+                named = ", ".join(repr(label) for label in labels)
+                raise SweepScenarioError(
+                    f"solving sweep scenario(s) {named} with method {method!r} "
+                    f"failed: {type(error).__name__}: {error}",
+                    labels,
+                ) from error
+            results = list(outcome.results)
+            corrupted = False
+            if plan.enabled:
+                for position, label in enumerate(labels):
+                    if plan.wants_corrupt(label, task.attempt):
+                        results[position] = FaultPlan.corrupt(results[position])
+                        corrupted = True
+            checkpointed = False
+            if task.checkpoint_dir is not None and not corrupted:
+                for index, result in zip(indices, results):
+                    fingerprint = task.fingerprints.get(index)
+                    if fingerprint is not None:
+                        with obs.span("checkpoint_write", scenario=index):
+                            SweepCache.write_entry(task.checkpoint_dir, fingerprint, result)
+                        checkpointed = True
+            groups.append((indices, results, checkpointed))
+    return groups
 
 
 def _solve_chunk_task(task: ChunkTask) -> ChunkPayload:
@@ -616,47 +688,20 @@ def _solve_chunk_task(task: ChunkTask) -> ChunkPayload:
     :mod:`repro.engine.faults` injectors hook in here, gated on the
     task-carried fault spec; corrupted results are deliberately *not*
     checkpointed (the parent must reject them first).
+
+    Tracing mirrors the fault wiring: the driver stamps its active trace
+    mode on the task, the worker activates it with
+    :func:`repro.obs.override_trace` (no environment inheritance) and
+    ships the finished spans back inside the payload for the driver to
+    re-parent onto its own timeline.
     """
-    plan = FaultPlan.from_spec(task.faults)
-    workspace = SolveWorkspace(horizon_caps=False)
-    payload: ChunkPayload = []
-    for group_indices, method, group_problems in task.groups:
-        indices = list(group_indices)
-        problems = list(group_problems)
-        labels = tuple(
-            problem.label or f"scenario #{index}"
-            for index, problem in zip(indices, problems)
-        )
-        try:
-            if plan.enabled:
-                for label in labels:
-                    plan.before_scenario(label, task.attempt)
-            outcome = ScenarioBatch(problems).run(method, workspace=workspace)
-        except Exception as error:
-            # Attach the failing scenarios' identity: a bare worker
-            # exception is useless in a sweep of hundreds of scenarios.
-            named = ", ".join(repr(label) for label in labels)
-            raise SweepScenarioError(
-                f"solving sweep scenario(s) {named} with method {method!r} "
-                f"failed: {type(error).__name__}: {error}",
-                labels,
-            ) from error
-        results = list(outcome.results)
-        corrupted = False
-        if plan.enabled:
-            for position, label in enumerate(labels):
-                if plan.wants_corrupt(label, task.attempt):
-                    results[position] = FaultPlan.corrupt(results[position])
-                    corrupted = True
-        checkpointed = False
-        if task.checkpoint_dir is not None and not corrupted:
-            for index, result in zip(indices, results):
-                fingerprint = task.fingerprints.get(index)
-                if fingerprint is not None:
-                    SweepCache.write_entry(task.checkpoint_dir, fingerprint, result)
-                    checkpointed = True
-        payload.append((indices, results, checkpointed))
-    return payload
+    if task.trace in ("summary", "full"):
+        with obs.override_trace(task.trace) as tracer:
+            groups = _solve_chunk_groups(task)
+            assert tracer is not None
+            spans = [item.as_record() for item in tracer.spans()]
+        return ChunkPayload(groups=groups, spans=spans)
+    return ChunkPayload(groups=_solve_chunk_groups(task))
 
 
 #: Sentinel ``LifetimeResult.method`` of degrade-mode failure placeholders.
@@ -806,228 +851,252 @@ def run_sweep(
         ``n_chunks``, ``cache_hits``, ``n_retries``, ``resumed_hits``,
         ``wall_seconds``, ...).
     """
-    started = time.perf_counter()
     if cache is None and cache_dir is not None:
         cache = SweepCache(cache_dir)
 
-    if isinstance(scenarios, SweepSpec):
-        problems, methods = scenarios.scenarios()
-        spec_policy = scenarios.execution
-    else:
-        if isinstance(scenarios, ScenarioBatch):
-            problems = scenarios.problems
+    with ExitStack() as scope:
+        # A spec-carried trace mode wins for the duration of this run
+        # (exactly like the spec-carried execution policy wins below).
+        if isinstance(scenarios, SweepSpec) and scenarios.trace is not None:
+            scope.enter_context(obs.override_trace(scenarios.trace))
+        started = obs.now()
+        scope.enter_context(obs.span("sweep"))
+
+        if isinstance(scenarios, SweepSpec):
+            problems, methods = scenarios.scenarios()
+            spec_policy = scenarios.execution
         else:
-            problems = list(scenarios)
-        methods = [method] * len(problems)
-        spec_policy = None
-    if not problems:
-        raise ValueError("a sweep needs at least one scenario")
-
-    policy = execution if execution is not None else (spec_policy or ExecutionPolicy())
-    if failure_mode is not None:
-        if failure_mode not in FAILURE_MODES:
-            raise ValueError(f"failure_mode {failure_mode!r} is not one of {FAILURE_MODES}")
-        policy = replace(policy, failure_mode=failure_mode)
-
-    # Resolve "auto" up front so cache keys and chunk groups see concrete
-    # solver names (choose_method is deterministic in the problem).
-    concrete = [
-        choose_method(problem) if name == "auto" else name
-        for problem, name in zip(problems, methods)
-    ]
-
-    results: list[LifetimeResult | None] = [None] * len(problems)
-    fingerprints: list[str | None] = [None] * len(problems)
-    pending: list[tuple[int, LifetimeProblem, str]] = []
-    cache_hits = 0
-    disk_hits_before = cache.disk_hits if cache is not None else 0
-    for index, (problem, name) in enumerate(zip(problems, concrete)):
-        if cache is not None:
-            fingerprint = scenario_fingerprint(problem, name)
-            fingerprints[index] = fingerprint
-            hit = cache.get(fingerprint)
-            if hit is not None:
-                results[index] = _with_diagnostics(
-                    _relabelled(hit, problem), {"cache_hit": True}
-                )
-                cache_hits += 1
-                continue
-        pending.append((index, problem, name))
-    resumed_hits = (cache.disk_hits - disk_hits_before) if cache is not None else 0
-
-    if max_workers is None:
-        max_workers = default_worker_count()
-    max_workers = max(1, int(max_workers))
-
-    chunks = _partition(pending, max_workers) if pending else []
-    parallel = max_workers > 1 and len(chunks) > 1
-    n_workers = len(chunks) if parallel else 1
-
-    checkpoint_dir = cache.directory if cache is not None else None
-    active_faults = faults_spec()
-    tasks: list[ChunkTask] = []
-    for task_id, chunk in enumerate(chunks):
-        chunk_fingerprints: dict[int, str] = {}
-        if checkpoint_dir is not None:
-            for chunk_indices, _, _ in chunk:
-                for index in chunk_indices:
-                    chunk_fingerprint = fingerprints[index]
-                    if chunk_fingerprint is not None:
-                        chunk_fingerprints[index] = chunk_fingerprint
-        tasks.append(
-            ChunkTask(
-                task_id=task_id,
-                groups=tuple(
-                    (tuple(chunk_indices), chunk_method, tuple(chunk_problems))
-                    for chunk_indices, chunk_method, chunk_problems in chunk
-                ),
-                checkpoint_dir=checkpoint_dir,
-                fingerprints=chunk_fingerprints,
-                faults=active_faults,
-            )
-        )
-
-    total = len(problems)
-    done = cache_hits
-    failed_scenarios = 0
-    retries_seen = 0
-    checkpointed_scenarios = 0
-    failures: list[ScenarioFailure] = []
-
-    def emit_progress() -> None:
-        if progress is None:
-            return
-        elapsed = time.perf_counter() - started
-        solved_so_far = done - cache_hits
-        remaining = total - done
-        eta: float | None = None
-        if remaining == 0:
-            eta = 0.0
-        elif solved_so_far > 0:
-            eta = elapsed / solved_so_far * remaining
-        progress(
-            SweepProgress(
-                total=total,
-                done=done,
-                failed=failed_scenarios,
-                retries=retries_seen,
-                elapsed_seconds=elapsed,
-                eta_seconds=eta,
-            )
-        )
-
-    def handle_success(task: ChunkTask, payload: Any) -> None:
-        nonlocal done, checkpointed_scenarios
-        for group_indices, group_results, checkpointed in payload:
-            for index, result in zip(group_indices, group_results):
-                stamped = _with_diagnostics(result, {"cache_hit": False})
-                results[index] = stamped
-                result_fingerprint = fingerprints[index]
-                if cache is not None and result_fingerprint is not None:
-                    cache.put(result_fingerprint, stamped, memory_only=checkpointed)
-            if checkpointed:
-                checkpointed_scenarios += len(group_indices)
-            done += len(group_indices)
-        emit_progress()
-
-    def handle_failure(task: ChunkTask, error: BaseException, timed_out: bool) -> None:
-        nonlocal done, failed_scenarios
-        if policy.failure_mode == "strict":
-            if isinstance(error, SweepScenarioError) and error.labels:
-                labels = error.labels
+            if isinstance(scenarios, ScenarioBatch):
+                problems = scenarios.problems
             else:
-                labels = task.labels()
-            named = ", ".join(repr(label) for label in labels)
-            raise SweepScenarioError(
-                f"sweep scenario(s) {named} failed after {task.attempt + 1} "
-                f"attempt(s): {type(error).__name__}: {error}",
-                labels,
-            ) from error
-        for group_indices, group_method, group_problems in task.groups:
-            for index, problem in zip(group_indices, group_problems):
-                failure = ScenarioFailure(
-                    index=index,
-                    label=problem.label or f"scenario #{index}",
-                    method=group_method,
-                    error_type=type(error).__name__,
-                    message=str(error),
-                    attempts=task.attempt + 1,
-                    timed_out=timed_out,
+                problems = list(scenarios)
+            methods = [method] * len(problems)
+            spec_policy = None
+        if not problems:
+            raise ValueError("a sweep needs at least one scenario")
+
+        policy = execution if execution is not None else (spec_policy or ExecutionPolicy())
+        if failure_mode is not None:
+            if failure_mode not in FAILURE_MODES:
+                raise ValueError(f"failure_mode {failure_mode!r} is not one of {FAILURE_MODES}")
+            policy = replace(policy, failure_mode=failure_mode)
+
+        # Resolve "auto" up front so cache keys and chunk groups see concrete
+        # solver names (choose_method is deterministic in the problem).
+        concrete = [
+            choose_method(problem) if name == "auto" else name
+            for problem, name in zip(problems, methods)
+        ]
+
+        results: list[LifetimeResult | None] = [None] * len(problems)
+        fingerprints: list[str | None] = [None] * len(problems)
+        pending: list[tuple[int, LifetimeProblem, str]] = []
+        cache_hits = 0
+        disk_hits_before = cache.disk_hits if cache is not None else 0
+        with obs.span("cache_scan", n_scenarios=len(problems)):
+            for index, (problem, name) in enumerate(zip(problems, concrete)):
+                if cache is not None:
+                    fingerprint = scenario_fingerprint(problem, name)
+                    fingerprints[index] = fingerprint
+                    hit = cache.get(fingerprint)
+                    if hit is not None:
+                        results[index] = _with_diagnostics(
+                            _relabelled(hit, problem), {"cache_hit": True}
+                        )
+                        cache_hits += 1
+                        continue
+                pending.append((index, problem, name))
+        resumed_hits = (cache.disk_hits - disk_hits_before) if cache is not None else 0
+        if cache is not None:
+            obs.count("sweep_cache_hits", cache_hits)
+            obs.count("sweep_cache_misses", len(pending))
+
+        if max_workers is None:
+            max_workers = default_worker_count()
+        max_workers = max(1, int(max_workers))
+
+        with obs.span("partition", n_pending=len(pending)):
+            chunks = _partition(pending, max_workers) if pending else []
+        parallel = max_workers > 1 and len(chunks) > 1
+        n_workers = len(chunks) if parallel else 1
+
+        checkpoint_dir = cache.directory if cache is not None else None
+        active_faults = faults_spec()
+        active_trace = obs.trace_mode()
+        tasks: list[ChunkTask] = []
+        for task_id, chunk in enumerate(chunks):
+            chunk_fingerprints: dict[int, str] = {}
+            if checkpoint_dir is not None:
+                for chunk_indices, _, _ in chunk:
+                    for index in chunk_indices:
+                        chunk_fingerprint = fingerprints[index]
+                        if chunk_fingerprint is not None:
+                            chunk_fingerprints[index] = chunk_fingerprint
+            tasks.append(
+                ChunkTask(
+                    task_id=task_id,
+                    groups=tuple(
+                        (tuple(chunk_indices), chunk_method, tuple(chunk_problems))
+                        for chunk_indices, chunk_method, chunk_problems in chunk
+                    ),
+                    checkpoint_dir=checkpoint_dir,
+                    fingerprints=chunk_fingerprints,
+                    faults=active_faults,
+                    trace="" if active_trace == "off" else active_trace,
                 )
-                failures.append(failure)
-                results[index] = _failed_result(problem, failure)
-                failed_scenarios += 1
-                done += 1
+            )
+
+        total = len(problems)
+        done = cache_hits
+        failed_scenarios = 0
+        retries_seen = 0
+        checkpointed_scenarios = 0
+        failures: list[ScenarioFailure] = []
+
+        def emit_progress() -> None:
+            if progress is None:
+                return
+            elapsed = obs.now() - started
+            solved_so_far = done - cache_hits
+            remaining = total - done
+            eta: float | None = None
+            if remaining == 0:
+                eta = 0.0
+            elif solved_so_far > 0:
+                eta = elapsed / solved_so_far * remaining
+            progress(
+                SweepProgress(
+                    total=total,
+                    done=done,
+                    failed=failed_scenarios,
+                    retries=retries_seen,
+                    elapsed_seconds=elapsed,
+                    eta_seconds=eta,
+                )
+            )
+
+        def handle_success(task: ChunkTask, payload: Any) -> None:
+            nonlocal done, checkpointed_scenarios
+            for group_indices, group_results, checkpointed in getattr(
+                payload, "groups", payload
+            ):
+                for index, result in zip(group_indices, group_results):
+                    stamped = _with_diagnostics(result, {"cache_hit": False})
+                    results[index] = stamped
+                    result_fingerprint = fingerprints[index]
+                    if cache is not None and result_fingerprint is not None:
+                        cache.put(result_fingerprint, stamped, memory_only=checkpointed)
+                if checkpointed:
+                    checkpointed_scenarios += len(group_indices)
+                done += len(group_indices)
+            emit_progress()
+
+        def handle_failure(task: ChunkTask, error: BaseException, timed_out: bool) -> None:
+            nonlocal done, failed_scenarios
+            if policy.failure_mode == "strict":
+                if isinstance(error, SweepScenarioError) and error.labels:
+                    labels = error.labels
+                else:
+                    labels = task.labels()
+                named = ", ".join(repr(label) for label in labels)
+                raise SweepScenarioError(
+                    f"sweep scenario(s) {named} failed after {task.attempt + 1} "
+                    f"attempt(s): {type(error).__name__}: {error}",
+                    labels,
+                ) from error
+            for group_indices, group_method, group_problems in task.groups:
+                for index, problem in zip(group_indices, group_problems):
+                    failure = ScenarioFailure(
+                        index=index,
+                        label=problem.label or f"scenario #{index}",
+                        method=group_method,
+                        error_type=type(error).__name__,
+                        message=str(error),
+                        attempts=task.attempt + 1,
+                        timed_out=timed_out,
+                    )
+                    failures.append(failure)
+                    results[index] = _failed_result(problem, failure)
+                    failed_scenarios += 1
+                    obs.count("sweep_degraded_scenarios")
+                    done += 1
+            emit_progress()
+
+        def handle_retry(task: ChunkTask) -> None:
+            nonlocal retries_seen
+            retries_seen += 1
+
+        def validate_payload(task: ChunkTask, payload: Any) -> None:
+            by_index = {
+                index: problem
+                for group_indices, _, group_problems in task.groups
+                for index, problem in zip(group_indices, group_problems)
+            }
+            for group_indices, group_results, _ in getattr(payload, "groups", payload):
+                if len(group_indices) != len(group_results):
+                    raise CorruptResultError(
+                        "worker payload has mismatched index/result counts"
+                    )
+                for index, result in zip(group_indices, group_results):
+                    _validate_result_envelope(result, by_index[index])
+
         emit_progress()
 
-    def handle_retry(task: ChunkTask) -> None:
-        nonlocal retries_seen
-        retries_seen += 1
-
-    def validate_payload(task: ChunkTask, payload: Any) -> None:
-        by_index = {
-            index: problem
-            for group_indices, _, group_problems in task.groups
-            for index, problem in zip(group_indices, group_problems)
-        }
-        for group_indices, group_results, _ in payload:
-            if len(group_indices) != len(group_results):
-                raise CorruptResultError(
-                    "worker payload has mismatched index/result counts"
+        stats = ExecutionStats()
+        executor_name = "serial"
+        if tasks:
+            if executor is None or isinstance(executor, str):
+                executor_name = (
+                    executor
+                    if isinstance(executor, str)
+                    else ("process" if parallel else "serial")
                 )
-            for index, result in zip(group_indices, group_results):
-                _validate_result_envelope(result, by_index[index])
-
-    emit_progress()
-
-    stats = ExecutionStats()
-    executor_name = "serial"
-    if tasks:
-        if executor is None or isinstance(executor, str):
-            executor_name = (
-                executor
-                if isinstance(executor, str)
-                else ("process" if parallel else "serial")
+                executor_instance = get_executor_factory(executor_name)(
+                    _solve_chunk_task,
+                    max_workers=n_workers,
+                    timeout=policy.chunk_timeout,
+                )
+            else:
+                executor_instance = executor
+                executor_name = str(getattr(executor, "name", type(executor).__name__))
+            stats = execute_chunks(
+                tasks,
+                executor_instance,
+                policy,
+                on_success=handle_success,
+                on_failure=handle_failure,
+                validate=validate_payload,
+                on_retry=handle_retry,
             )
-            executor_instance = get_executor_factory(executor_name)(
-                _solve_chunk_task,
-                max_workers=n_workers,
-                timeout=policy.chunk_timeout,
-            )
-        else:
-            executor_instance = executor
-            executor_name = str(getattr(executor, "name", type(executor).__name__))
-        stats = execute_chunks(
-            tasks,
-            executor_instance,
-            policy,
-            on_success=handle_success,
-            on_failure=handle_failure,
-            validate=validate_payload,
-            on_retry=handle_retry,
-        )
 
-    assert all(result is not None for result in results)
-    diagnostics = {
-        "n_scenarios": len(problems),
-        "n_solved": len(pending) - failed_scenarios,
-        "cache_hits": cache_hits,
-        "resumed_hits": resumed_hits,
-        "n_workers": n_workers,
-        "n_chunks": len(chunks),
-        "parallel": parallel,
-        "executor": executor_name,
-        "failure_mode": policy.failure_mode,
-        "n_retries": stats.n_retries,
-        "n_timeouts": stats.n_timeouts,
-        "n_pool_rebuilds": stats.pool_rebuilds,
-        "n_failed": failed_scenarios,
-        "checkpointed": checkpointed_scenarios,
-        "methods": sorted(set(concrete)),
-        "wall_seconds": time.perf_counter() - started,
-    }
-    if failures:
-        diagnostics["failures"] = [failure.as_record() for failure in failures]
-    if cache is not None:
-        diagnostics["cache"] = cache.stats()
-    return SweepResult(results=tuple(results), diagnostics=diagnostics)
+        assert all(result is not None for result in results)
+        diagnostics = {
+            "n_scenarios": len(problems),
+            "n_solved": len(pending) - failed_scenarios,
+            "cache_hits": cache_hits,
+            "resumed_hits": resumed_hits,
+            "n_workers": n_workers,
+            "n_chunks": len(chunks),
+            "parallel": parallel,
+            "executor": executor_name,
+            "failure_mode": policy.failure_mode,
+            "n_retries": stats.n_retries,
+            "n_timeouts": stats.n_timeouts,
+            "n_pool_rebuilds": stats.pool_rebuilds,
+            "n_failed": failed_scenarios,
+            "checkpointed": checkpointed_scenarios,
+            "methods": sorted(set(concrete)),
+            "wall_seconds": obs.now() - started,
+            "trace_mode": active_trace,
+        }
+        if failures:
+            diagnostics["failures"] = [failure.as_record() for failure in failures]
+        if cache is not None:
+            diagnostics["cache"] = cache.stats()
+        tracer = obs.current_tracer()
+        if tracer is not None:
+            diagnostics["n_spans"] = len(tracer.spans())
+        registry = obs.metrics_registry()
+        if registry is not None:
+            diagnostics["metrics"] = registry.snapshot()
+        return SweepResult(results=tuple(results), diagnostics=diagnostics)

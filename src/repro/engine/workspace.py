@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro import obs
 from repro.core.discretization import DiscretizedKiBaMRM, discretize
 from repro.core.kibamrm import KiBaMRM
 from repro.markov.poisson import poisson_cache_diagnostics
@@ -64,6 +65,9 @@ class SolveWorkspace:
         # what *this* workspace's solves contributed, not the cumulative
         # process history.
         self._poisson_baseline: dict[str, int] = poisson_cache_diagnostics()
+        # Already forwarded to the obs metrics registry, so repeated
+        # diagnostics() calls never double-count an increment.
+        self._poisson_counted: dict[str, int] = {"hits": 0, "misses": 0}
 
     # ------------------------------------------------------------------
     def discretized(
@@ -86,16 +90,19 @@ class SolveWorkspace:
         """
         chain = self.chains.get(key)
         if chain is None:
-            if isinstance(model, KiBaMRM):
-                chain = discretize(model, delta)
-            elif backend is None:
-                chain = model.discretize(delta)
-            else:
-                chain = model.discretize(delta, backend=backend)
+            with obs.span("chain_build", delta=float(delta), backend=backend or "single"):
+                if isinstance(model, KiBaMRM):
+                    chain = discretize(model, delta)
+                elif backend is None:
+                    chain = model.discretize(delta)
+                else:
+                    chain = model.discretize(delta, backend=backend)
             self.chains[key] = chain
             self.builds += 1
+            obs.count("workspace_chain_builds")
         else:
             self.build_hits += 1
+            obs.count("workspace_chain_build_hits")
         return chain
 
     def propagator(
@@ -110,9 +117,10 @@ class SolveWorkspace:
         """
         propagator = self.propagators.get(key)
         if propagator is None:
-            propagator = TransientPropagator(
-                chain.generator, validate=False, kernel=kernel
-            )
+            with obs.span("propagator_build", kernel=kernel):
+                propagator = TransientPropagator(
+                    chain.generator, validate=False, kernel=kernel
+                )
             self.propagators[key] = propagator
         return propagator
 
@@ -172,12 +180,24 @@ class SolveWorkspace:
             for key, value in current.items()
             if key.endswith(("_hits", "_misses"))
         }
+        hits = (
+            deltas["poisson_window_cache_hits"] + deltas["poisson_shared_cache_hits"]
+        )
+        misses = (
+            deltas["poisson_window_cache_misses"]
+            + deltas["poisson_shared_cache_misses"]
+        )
+        # Forward the (not yet forwarded part of the) per-workspace deltas
+        # to the obs metrics registry, where they aggregate across every
+        # workspace of the run.
+        obs.count("poisson_cache_hits", max(0, hits - self._poisson_counted["hits"]))
+        obs.count("poisson_cache_misses", max(0, misses - self._poisson_counted["misses"]))
+        self._poisson_counted["hits"] = max(self._poisson_counted["hits"], hits)
+        self._poisson_counted["misses"] = max(self._poisson_counted["misses"], misses)
         return {
             "chain_builds": self.builds,
             "chain_build_hits": self.build_hits,
-            "poisson_cache_hits": deltas["poisson_window_cache_hits"]
-            + deltas["poisson_shared_cache_hits"],
-            "poisson_cache_misses": deltas["poisson_window_cache_misses"]
-            + deltas["poisson_shared_cache_misses"],
+            "poisson_cache_hits": hits,
+            "poisson_cache_misses": misses,
             **deltas,
         }

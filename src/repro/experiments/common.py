@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.analysis.distribution import LifetimeDistribution
 from repro.battery.parameters import KiBaMParameters
+from repro.obs import events
 from repro.engine import (
     LifetimeProblem,
     ScenarioBatch,
@@ -108,7 +109,10 @@ def sweep_options(config: "ExperimentConfig | None") -> dict[str, Any]:
 
     Threads the worker count, the shared durable cache (``cache_dir`` /
     ``resume``) and the progress printer into every driver sweep with one
-    ``run_sweep(..., **sweep_options(config))`` call.
+    ``run_sweep(..., **sweep_options(config))`` call.  Progress events are
+    delivered through the :mod:`repro.obs.events` bus (``--progress``
+    subscribes the stderr printer to it), so additional consumers can
+    observe the same sweeps without touching the drivers.
     """
     if config is None:
         return {"max_workers": 1}
@@ -117,7 +121,8 @@ def sweep_options(config: "ExperimentConfig | None") -> dict[str, Any]:
     if cache is not None:
         options["cache"] = cache
     if config.progress:
-        options["progress"] = print_sweep_progress
+        events.subscribe(print_sweep_progress)
+        options["progress"] = events.emit
     return options
 
 

@@ -47,7 +47,18 @@ class ExperimentConfig:
         served, because scenario fingerprints cover inputs, not solver
         code: resuming across a code change is an explicit decision.
     progress:
-        Print sweep progress/ETA lines to stderr while the drivers solve.
+        Print sweep progress/ETA lines to stderr while the drivers solve
+        (delivered through the :mod:`repro.obs.events` bus, so other
+        consumers can subscribe to the same events).
+    trace_file:
+        Optional path for a JSONL span-trace export: the runner installs
+        a full-mode :class:`repro.obs.Tracer` for the whole invocation
+        and writes every recorded span there at the end.
+        ``REPRO_TRACE_FILE`` or ``--trace`` sets it.
+    metrics:
+        Collect obs counters/gauges/histograms for the whole invocation
+        and print the rendered snapshot at the end.  ``REPRO_METRICS=1``
+        or ``--metrics`` switches it on.
     """
 
     full: bool = False
@@ -57,6 +68,8 @@ class ExperimentConfig:
     cache_dir: str | None = None
     resume: bool = False
     progress: bool = False
+    trace_file: str | None = None
+    metrics: bool = False
 
     @classmethod
     def from_environment(cls) -> "ExperimentConfig":
@@ -65,20 +78,26 @@ class ExperimentConfig:
         ``REPRO_FULL=1`` enables the full (slow) settings, ``REPRO_SIM_RUNS``
         overrides the number of simulation runs, ``REPRO_WORKERS`` sets the
         sweep worker-process count, ``REPRO_CACHE_DIR`` points the sweeps at
-        a durable scenario cache and ``REPRO_RESUME=1`` allows reusing the
-        checkpoints already in it.
+        a durable scenario cache, ``REPRO_RESUME=1`` allows reusing the
+        checkpoints already in it, ``REPRO_TRACE_FILE`` exports a JSONL
+        span trace of the whole invocation and ``REPRO_METRICS=1`` prints
+        the obs metrics snapshot at the end.
         """
         full = os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
         runs = int(os.environ.get("REPRO_SIM_RUNS", "1000"))
         workers = int(os.environ.get("REPRO_WORKERS", "1"))
         cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip() or None
         resume = os.environ.get("REPRO_RESUME", "0") not in ("", "0", "false", "False")
+        trace_file = os.environ.get("REPRO_TRACE_FILE", "").strip() or None
+        metrics = os.environ.get("REPRO_METRICS", "0") not in ("", "0", "false", "False")
         return cls(
             full=full,
             n_simulation_runs=runs,
             workers=workers,
             cache_dir=cache_dir,
             resume=resume,
+            trace_file=trace_file,
+            metrics=metrics,
         )
 
 

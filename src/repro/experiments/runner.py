@@ -11,8 +11,10 @@ over N worker processes (the results are identical to a serial run),
 ``--cache-dir DIR`` to checkpoint every solved scenario durably (with
 ``--resume`` re-runs -- including runs killed mid-sweep -- are answered
 from the checkpoints instead of re-solving), ``--progress`` for sweep
-progress/ETA lines on stderr, or ``--list`` to enumerate what is
-registered.
+progress/ETA lines on stderr, ``--trace PATH`` for a JSONL span trace of
+the whole invocation (rendered with ``python -m tools.repro_trace``),
+``--metrics`` for an obs counters/histograms snapshot at the end, or
+``--list`` to enumerate what is registered.
 
 All drivers obtain their curves through the unified solver engine
 (:mod:`repro.engine`) and its parallel sweep layer
@@ -23,7 +25,9 @@ configuration and report rendering.
 from __future__ import annotations
 
 import argparse
+from contextlib import contextmanager
 from dataclasses import replace
+from typing import TYPE_CHECKING
 
 from repro.experiments.registry import (
     ExperimentConfig,
@@ -32,7 +36,10 @@ from repro.experiments.registry import (
     get_experiment,
 )
 
-__all__ = ["cache_summary", "run_all", "run_experiment", "main"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterator
+
+__all__ = ["cache_summary", "main", "observability", "run_all", "run_experiment"]
 
 
 def run_experiment(name: str, config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -91,6 +98,21 @@ def main(argv=None) -> None:
         action="store_true",
         help="print sweep progress/ETA lines to stderr while solving",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a full span trace of the whole invocation and export it "
+        "to PATH as JSONL at the end (default: REPRO_TRACE_FILE; render it "
+        "with python -m tools.repro_trace PATH)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        default=None,
+        help="collect obs counters/histograms for the whole invocation and "
+        "print the snapshot at the end (default: REPRO_METRICS)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.list:
@@ -109,6 +131,10 @@ def main(argv=None) -> None:
         config = replace(config, resume=arguments.resume)
     if arguments.progress:
         config = replace(config, progress=True)
+    if arguments.trace is not None:
+        config = replace(config, trace_file=arguments.trace)
+    if arguments.metrics is not None:
+        config = replace(config, metrics=arguments.metrics)
     if config.resume and config.cache_dir is None:
         parser.error("--resume needs a cache directory (--cache-dir or REPRO_CACHE_DIR)")
     names = arguments.experiments or available_experiments()
@@ -119,13 +145,44 @@ def main(argv=None) -> None:
             f"unknown experiment(s): {', '.join(unknown)}; "
             f"available: {', '.join(sorted(known))}"
         )
-    for name in names:
-        result = run_experiment(name, config)
-        print(result.render())
-        print()
-    summary = cache_summary(config)
-    if summary:
-        print(summary)
+    with observability(config):
+        for name in names:
+            result = run_experiment(name, config)
+            print(result.render())
+            print()
+        summary = cache_summary(config)
+        if summary:
+            print(summary)
+
+
+@contextmanager
+def observability(config: ExperimentConfig) -> "Iterator[None]":
+    """Scope the *config*'s trace/metrics collection around a runner pass.
+
+    With ``trace_file`` set, a full-mode tracer observes every driver
+    sweep and its spans are exported as JSONL when the pass finishes
+    (render the file with ``python -m tools.repro_trace``).  With
+    ``metrics`` set, obs counters/gauges/histograms collect across the
+    whole pass and the rendered snapshot is printed at the end.
+    """
+    from repro import obs
+
+    tracer = obs.Tracer(mode="full") if config.trace_file is not None else None
+    registry = obs.MetricsRegistry() if config.metrics else None
+    if tracer is not None:
+        obs.install_tracer(tracer)
+    if registry is not None:
+        obs.set_metrics_registry(registry)
+    try:
+        yield
+    finally:
+        if tracer is not None:
+            obs.install_tracer(None)
+            n_spans = tracer.export_jsonl(config.trace_file)
+            print(f"-- obs trace --\n  {n_spans} span(s) -> {config.trace_file}")
+        if registry is not None:
+            obs.set_metrics_registry(None)
+            print(registry.render())
 
 
 def cache_summary(config: ExperimentConfig) -> str | None:

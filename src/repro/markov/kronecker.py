@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Any, Callable
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.checking.protocols import FloatArray
 from repro.markov.generator import GeneratorError, as_csr
 
@@ -635,7 +636,8 @@ class KroneckerGenerator:
             )
         rows = xp.ascontiguousarray(rows)
         diagonal, terms = self._device_state(xp)
-        out = _apply_terms(rows, self._dims, diagonal, terms, xp)
+        with obs.detail_span("kron_apply", rows=int(rows.shape[0])):
+            out = _apply_terms(rows, self._dims, diagonal, terms, xp)
         return out[0] if squeeze else out
 
     def __rmatmul__(self, other: Any) -> Any:

@@ -60,6 +60,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.checking.protocols import FloatArray
 from repro.markov import kernels
 from repro.markov.generator import as_csr, validate_generator
@@ -578,25 +579,28 @@ class TransientPropagator:
         results = self._allocate(n_batch, unique_times.size, self.n_states, proj)
         spmm = self._kernel.spmm
         block = alphas.copy()
-        for n in range(max_right + 1):
-            # Projection products (and window updates) are skipped entirely
-            # before the first active window.
-            if n >= min_left:
-                active = np.nonzero((lefts <= n) & (n <= rights))[0]
-                if active.size:
-                    weights = weight_table[offsets[active] + n]
-                    contribution = block if proj is None else block @ proj
-                    if contribution.ndim == 1:
-                        results[:, active] += contribution[:, None] * weights[None, :]
-                    else:
-                        results[:, active] += (
-                            weights[None, :, None] * contribution[:, None, :]
-                        )
-            if n == max_right:
-                break
-            block = spmm(block)
-            if callback is not None and n % 1000 == 0:
-                callback(n, max_right)
+        with obs.detail_span("single_pass", max_right=max_right):
+            for n in range(max_right + 1):
+                # Projection products (and window updates) are skipped
+                # entirely before the first active window.
+                if n >= min_left:
+                    active = np.nonzero((lefts <= n) & (n <= rights))[0]
+                    if active.size:
+                        weights = weight_table[offsets[active] + n]
+                        contribution = block if proj is None else block @ proj
+                        if contribution.ndim == 1:
+                            results[:, active] += (
+                                contribution[:, None] * weights[None, :]
+                            )
+                        else:
+                            results[:, active] += (
+                                weights[None, :, None] * contribution[:, None, :]
+                            )
+                if n == max_right:
+                    break
+                block = spmm(block)
+                if callback is not None and n % 1000 == 0:
+                    callback(n, max_right)
 
         return _SolvedGrid(
             values=results,
@@ -702,9 +706,12 @@ class TransientPropagator:
                     if (count - 1) % 1000 == 0:
                         callback(count - 1, estimated_total)
 
-            segment = self._kernel.run_segment(
-                current, window.weights, window.left, window.right, tol, progress
-            )
+            with obs.detail_span(
+                "segment", index=j, left=window.left, right=window.right
+            ):
+                segment = self._kernel.run_segment(
+                    current, window.weights, window.left, window.right, tol, progress
+                )
             performed += segment.performed
             if segment.status == kernels.SEGMENT_START_INVARIANT:
                 # The segment's *starting* vector is already invariant

@@ -1,0 +1,53 @@
+"""The observability layer's injectable monotonic clock.
+
+Every duration the :mod:`repro.obs` layer reports -- span start/end
+times, sweep progress ``elapsed_seconds``/``eta_seconds`` -- is read
+through :func:`now` instead of calling :func:`time.monotonic` (or worse,
+``time.perf_counter``) inline.  That single indirection is what makes
+timing-dependent behaviour *testable*: :func:`override_clock` swaps in a
+fake clock for a scope, so a test can assert exact elapsed/ETA values
+instead of loosely bounding wall-clock noise.
+
+The default clock is :func:`time.monotonic`: spans and progress events
+must never run backwards under NTP adjustments, and monotonic times are
+directly comparable to the scheduling deadlines the executor stamps.
+Monotonic clocks are *per-process* -- worker-side spans are re-based onto
+the driver's timeline when they are ingested (see
+:meth:`repro.obs.trace.Tracer.ingest`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable, Iterator
+
+__all__ = ["now", "override_clock", "set_clock"]
+
+_clock: "Callable[[], float]" = time.monotonic
+
+
+def now() -> float:
+    """Return the current monotonic time from the active clock."""
+    return _clock()
+
+
+def set_clock(clock: "Callable[[], float] | None") -> None:
+    """Install *clock* as the process-wide time source (``None`` resets)."""
+    global _clock
+    _clock = time.monotonic if clock is None else clock
+
+
+@contextmanager
+def override_clock(clock: "Callable[[], float]") -> "Iterator[None]":
+    """Use *clock* as the time source within a ``with`` block (re-entrant)."""
+    global _clock
+    previous = _clock
+    _clock = clock
+    try:
+        yield
+    finally:
+        _clock = previous

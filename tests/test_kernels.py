@@ -18,10 +18,12 @@ import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import obs
 from repro.battery.parameters import KiBaMParameters
 from repro.engine import solve_lifetime
 from repro.engine.batch import ScenarioBatch, chain_merge_key
 from repro.engine.problem import LifetimeProblem
+from repro.engine.workspace import SolveWorkspace
 from repro.markov.kernels import (
     KERNEL_CHOICES,
     SEGMENT_COMPLETED,
@@ -394,3 +396,91 @@ class TestEngineKernelKnob:
             outcome[1].distribution.probabilities,
             atol=1e-12,
         )
+
+
+# ----------------------------------------------------------------------
+# Workspace-level Poisson cache accounting.
+# ----------------------------------------------------------------------
+class TestWorkspacePoissonAccounting:
+    """Accuracy of the per-workspace ``poisson_cache_*`` deltas.
+
+    The Poisson memos are process-global; each :class:`SolveWorkspace`
+    snapshots the counters at creation and reports deltas, and forwards
+    each increment to the obs metrics registry exactly once even when
+    ``diagnostics()`` is called repeatedly.
+    """
+
+    def _problem(self, **kwargs) -> LifetimeProblem:
+        workload = WorkloadModel(
+            state_names=("on",),
+            generator=np.zeros((1, 1)),
+            currents=np.array([0.5]),
+            initial_distribution=np.array([1.0]),
+        )
+        battery = KiBaMParameters(capacity=20.0, c=1.0, k=0.0)
+        return LifetimeProblem(
+            workload=workload,
+            battery=battery,
+            times=np.linspace(5.0, 60.0, 4),
+            delta=battery.available_capacity / 8.0,
+            **kwargs,
+        )
+
+    def test_workspace_baselines_isolate_earlier_activity(self):
+        clear_poisson_caches()
+        first = SolveWorkspace()
+        shared_poisson_windows((3.0, 7.0))
+        shared_poisson_windows((3.0, 7.0))
+        seen_by_first = first.diagnostics()
+        assert seen_by_first["poisson_cache_misses"] == 1
+        assert seen_by_first["poisson_cache_hits"] == 1
+
+        # A workspace created *after* that activity starts from zero ...
+        second = SolveWorkspace()
+        fresh = second.diagnostics()
+        assert fresh["poisson_cache_hits"] == 0
+        assert fresh["poisson_cache_misses"] == 0
+
+        # ... and both see activity that happens after its creation.
+        shared_poisson_windows((3.0, 7.0))
+        assert second.diagnostics()["poisson_cache_hits"] == 1
+        assert first.diagnostics()["poisson_cache_hits"] == 2
+
+    def test_repeated_diagnostics_forward_each_increment_once(self):
+        clear_poisson_caches()
+        with obs.override_metrics() as registry:
+            workspace = SolveWorkspace()
+            shared_poisson_windows((2.0, 5.0))
+            shared_poisson_windows((2.0, 5.0))
+            for _ in range(3):  # re-reads must not re-forward
+                reported = workspace.diagnostics()
+            counters = registry.snapshot()["counters"]
+            assert counters["poisson_cache_hits"] == reported["poisson_cache_hits"] == 1
+            assert counters["poisson_cache_misses"] == reported["poisson_cache_misses"] == 1
+
+            # Only the increment since the last read is forwarded.
+            shared_poisson_windows((2.0, 5.0))
+            reported = workspace.diagnostics()
+            counters = registry.snapshot()["counters"]
+            assert counters["poisson_cache_hits"] == reported["poisson_cache_hits"] == 2
+
+    def test_mixed_kernel_batch_reports_accurate_poisson_totals(self):
+        clear_poisson_caches()
+        problems = [
+            self._problem(kernel="scipy").with_label("scipy"),
+            self._problem(kernel="auto").with_label("auto"),
+        ]
+        with obs.override_metrics() as registry:
+            workspace = SolveWorkspace()
+            outcome = ScenarioBatch(problems).run("mrm-uniformization", workspace=workspace)
+            reported = workspace.diagnostics()
+            counters = registry.snapshot()["counters"]
+        assert len(outcome) == 2
+        # Both kernels uniformise the same chain, so the windows computed
+        # for one are hits for the other; the totals the workspace reports
+        # are exactly what reached the registry, despite the per-result
+        # diagnostics() calls in between.
+        assert reported["poisson_cache_misses"] >= 1
+        assert reported["poisson_cache_hits"] >= 1
+        assert counters["poisson_cache_hits"] == reported["poisson_cache_hits"]
+        assert counters["poisson_cache_misses"] == reported["poisson_cache_misses"]

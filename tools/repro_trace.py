@@ -1,0 +1,204 @@
+"""Render a ``repro.obs`` JSONL span trace as a profile report.
+
+Run as ``python -m tools.repro_trace TRACE.jsonl`` on a file produced by
+:meth:`repro.obs.Tracer.export_jsonl` (the experiments runner's
+``--trace PATH``, or an explicit export after
+``repro.obs.override_trace``).  Two sections are printed:
+
+* a **phase breakdown** -- wall time aggregated per span name (count,
+  total, mean, max), sorted by total time, so the dominant phase of a
+  run (chain builds vs. uniformisation segments vs. checkpoint writes)
+  is visible at a glance, and
+* a **sweep timeline** -- per chunk task, every attempt in start order
+  with its status (``ok`` / ``timeout`` / ``failed``), the backoff waits
+  between retries, and the worker-side spans (``chunk_solve``,
+  ``group_solve``, ``checkpoint_write``) nested under the attempt they
+  were shipped back with.
+
+The module is import-light on purpose: it reads plain JSON lines and
+never imports the engine, so it can inspect traces from runs whose code
+has since changed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["load_spans", "phase_breakdown", "render_report", "sweep_timeline"]
+
+#: Worker-side span names rendered inside a ``chunk_attempt`` timeline
+#: entry (in addition to any other children the attempt has).
+_WORKER_SPANS = ("chunk_solve", "group_solve", "checkpoint_write")
+
+
+def load_spans(path: str | Path) -> list[dict[str, Any]]:
+    """Read one span record per JSON line from *path* (blank lines skipped)."""
+    spans = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def phase_breakdown(spans: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Aggregate span wall time per name, sorted by total descending.
+
+    Nested spans are *not* subtracted from their parents: the breakdown
+    answers "how much wall time did phase X cover", the same convention
+    as the ``wall_seconds`` diagnostics.
+    """
+    totals: dict[str, dict[str, Any]] = {}
+    for span in spans:
+        duration = float(span["end"]) - float(span["start"])
+        entry = totals.setdefault(
+            span["name"], {"name": span["name"], "count": 0, "total": 0.0, "max": 0.0}
+        )
+        entry["count"] += 1
+        entry["total"] += duration
+        entry["max"] = max(entry["max"], duration)
+    for entry in totals.values():
+        entry["mean"] = entry["total"] / entry["count"]
+    return sorted(totals.values(), key=lambda entry: (-entry["total"], entry["name"]))
+
+
+def sweep_timeline(spans: Iterable[dict[str, Any]]) -> dict[int, list[dict[str, Any]]]:
+    """Reconstruct the per-chunk attempt/retry timeline of a traced sweep.
+
+    Retries (and retry splits) run under fresh task ids; their spans carry
+    a ``retry_of`` attribute chaining them to the attempt they follow, so
+    the timeline groups every attempt under the *root* task id of its
+    chunk.  Returns ``{root_task_id: [event, ...]}`` with the chunk's
+    ``chunk_attempt`` and ``backoff`` events in start order; every attempt
+    event carries its own ``task_id`` plus the worker-side child spans
+    (``chunk_solve`` and the ``checkpoint_write`` / ``group_solve`` spans
+    below it) under ``"children"``, also in start order.
+    """
+    spans = list(spans)
+    children: dict[str, list[dict[str, Any]]] = defaultdict(list)
+    for span in spans:
+        if span.get("parent_id") is not None:
+            children[span["parent_id"]].append(span)
+
+    def descendants(span_id: str) -> list[dict[str, Any]]:
+        found = []
+        for child in children.get(span_id, ()):
+            found.append(child)
+            found.extend(descendants(child["span_id"]))
+        return sorted(found, key=lambda span: float(span["start"]))
+
+    lineage: dict[int, int] = {}
+    for span in spans:
+        attrs = span.get("attrs", {})
+        if span["name"] in ("chunk_attempt", "backoff") and attrs.get("retry_of") is not None:
+            lineage[int(attrs["task_id"])] = int(attrs["retry_of"])
+
+    def root_of(task_id: int) -> int:
+        while task_id in lineage:
+            task_id = lineage[task_id]
+        return task_id
+
+    timeline: dict[int, list[dict[str, Any]]] = defaultdict(list)
+    for span in spans:
+        if span["name"] not in ("chunk_attempt", "backoff"):
+            continue
+        attrs = span.get("attrs", {})
+        event = {
+            "kind": span["name"],
+            "task_id": attrs.get("task_id"),
+            "start": float(span["start"]),
+            "duration": float(span["end"]) - float(span["start"]),
+            "attempt": attrs.get("attempt"),
+            "status": attrs.get("status"),
+        }
+        if span["name"] == "chunk_attempt":
+            event["children"] = [
+                child
+                for child in descendants(span["span_id"])
+                if child["name"] in _WORKER_SPANS
+            ]
+        timeline[root_of(int(attrs.get("task_id", -1)))].append(event)
+    for events in timeline.values():
+        events.sort(key=lambda event: event["start"])
+    return dict(sorted(timeline.items()))
+
+
+def render_report(spans: list[dict[str, Any]]) -> str:
+    """Render the phase breakdown and sweep timeline as plain text."""
+    lines = [f"== trace report: {len(spans)} span(s) =="]
+    lines.append("")
+    lines.append("-- phase breakdown --")
+    breakdown = phase_breakdown(spans)
+    if breakdown:
+        width = max(len(entry["name"]) for entry in breakdown)
+        lines.append(
+            f"  {'phase'.ljust(width)}  {'count':>6}  {'total':>10}  {'mean':>10}  {'max':>10}"
+        )
+        for entry in breakdown:
+            lines.append(
+                f"  {entry['name'].ljust(width)}  {entry['count']:>6}"
+                f"  {entry['total']:>9.4f}s  {entry['mean']:>9.4f}s  {entry['max']:>9.4f}s"
+            )
+    else:
+        lines.append("  (no spans)")
+
+    timeline = sweep_timeline(spans)
+    if timeline:
+        origin = min(event["start"] for events in timeline.values() for event in events)
+        lines.append("")
+        lines.append("-- sweep timeline --")
+        for task_id, events in timeline.items():
+            lines.append(f"  chunk {task_id}:")
+            for event in events:
+                offset = event["start"] - origin
+                if event["kind"] == "backoff":
+                    lines.append(
+                        f"    +{offset:8.4f}s  backoff    "
+                        f"{event['duration']:.4f}s before attempt {event['attempt']}"
+                    )
+                    continue
+                lines.append(
+                    f"    +{offset:8.4f}s  attempt {event['attempt']}  "
+                    f"{event['status']:<7}  {event['duration']:.4f}s"
+                )
+                for child in event["children"]:
+                    child_offset = float(child["start"]) - origin
+                    duration = float(child["end"]) - float(child["start"])
+                    attrs = child.get("attrs", {})
+                    detail = ""
+                    if child["name"] == "checkpoint_write":
+                        detail = f"  scenario {attrs.get('scenario')}"
+                    elif child["name"] == "group_solve":
+                        detail = f"  {attrs.get('method')} x{attrs.get('size')}"
+                    lines.append(
+                        f"      +{child_offset:8.4f}s  {child['name']:<16} "
+                        f"{duration:.4f}s{detail}"
+                    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_trace",
+        description="Render a repro.obs JSONL span trace as a profile report.",
+    )
+    parser.add_argument("trace", metavar="TRACE.jsonl", help="JSONL span trace to render")
+    arguments = parser.parse_args(argv)
+    try:
+        spans = load_spans(arguments.trace)
+    except OSError as error:
+        print(f"error: cannot read {arguments.trace}: {error}", file=sys.stderr)
+        return 1
+    print(render_report(spans))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
