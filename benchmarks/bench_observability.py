@@ -43,6 +43,7 @@ from repro.battery.parameters import KiBaMParameters
 from repro.engine import (
     ExecutionPolicy,
     LifetimeProblem,
+    RunOptions,
     SweepCache,
     SweepSpec,
     override_faults,
@@ -216,7 +217,7 @@ def test_full_trace_sweep_reconstructs_retry_timeline(tmp_path):
     with obs.override_trace("full") as tracer:
         with override_faults(f"crash:max_attempt=1:match={_POISON_LABEL}"):
             started = time.perf_counter()
-            result = run_sweep(spec, max_workers=4, cache=cache, execution=policy)
+            result = run_sweep(spec, options=RunOptions(max_workers=4, cache=cache, execution=policy))
             sweep_seconds = time.perf_counter() - started
         n_spans = tracer.export_jsonl(trace_path)
 

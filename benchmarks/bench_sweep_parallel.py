@@ -23,7 +23,7 @@ import numpy as np
 import pytest
 
 from repro.battery.parameters import KiBaMParameters
-from repro.engine import ScenarioBatch, SweepCache, SweepSpec, run_sweep
+from repro.engine import RunOptions, ScenarioBatch, SweepCache, SweepSpec, run_sweep
 from repro.engine.sweep import default_worker_count
 from repro.workload.onoff import onoff_workload
 
@@ -80,7 +80,7 @@ def test_parallel_sweep_speedup_over_serial_batch(benchmark):
     assert serial.diagnostics["merged_groups"] == 0  # genuinely distinct chains
 
     outcome = benchmark.pedantic(
-        lambda: run_sweep(spec, max_workers=N_WORKERS),
+        lambda: run_sweep(spec, options=RunOptions(max_workers=N_WORKERS)),
         rounds=1,
         iterations=1,
         warmup_rounds=0,
@@ -110,8 +110,8 @@ def test_parallel_sweep_speedup_over_serial_batch(benchmark):
 def test_parallel_matches_serial_everywhere():
     """Result parity holds even when workers outnumber the CPUs."""
     spec = _distinct_chain_sweep(4)
-    serial = run_sweep(spec, max_workers=1)
-    parallel = run_sweep(spec, max_workers=N_WORKERS)
+    serial = run_sweep(spec, options=RunOptions(max_workers=1))
+    parallel = run_sweep(spec, options=RunOptions(max_workers=N_WORKERS))
     assert not serial.diagnostics["parallel"]
     assert parallel.diagnostics["parallel"]
     _assert_identical(serial, parallel)
@@ -121,12 +121,12 @@ def test_cached_rerun_returns_identical_results_without_resolving(benchmark):
     spec = _distinct_chain_sweep()
     cache = SweepCache()
 
-    first = run_sweep(spec, cache=cache)
+    first = run_sweep(spec, options=RunOptions(cache=cache))
     assert first.diagnostics["n_solved"] == N_SCENARIOS
     assert all(result.diagnostics["cache_hit"] is False for result in first)
 
     second = benchmark.pedantic(
-        lambda: run_sweep(spec, cache=cache), rounds=1, iterations=1, warmup_rounds=0
+        lambda: run_sweep(spec, options=RunOptions(cache=cache)), rounds=1, iterations=1, warmup_rounds=0
     )
     assert second.diagnostics["n_solved"] == 0
     assert second.diagnostics["cache_hits"] == N_SCENARIOS

@@ -46,7 +46,14 @@ import numpy as np
 import pytest
 
 from repro.battery.parameters import KiBaMParameters
-from repro.engine import ExecutionPolicy, ScenarioBatch, SolveWorkspace, SweepSpec, run_sweep
+from repro.engine import (
+    ExecutionPolicy,
+    RunOptions,
+    ScenarioBatch,
+    SolveWorkspace,
+    SweepSpec,
+    run_sweep,
+)
 from repro.engine.sweep import _partition
 
 #: Scenarios in the clean-overhead sweep.
@@ -148,7 +155,7 @@ def test_executor_layer_overhead_on_clean_sweep(benchmark):
     # Warm both paths once outside the timed region (Poisson-window and
     # workload caches are process-global, so the warmth is shared).
     _direct_sweep(problems, "mrm-uniformization")
-    warm = run_sweep(spec, max_workers=1)
+    warm = run_sweep(spec, options=RunOptions(max_workers=1))
     assert warm.diagnostics["executor"] == "serial"
     assert warm.diagnostics["n_solved"] == N_CLEAN_SCENARIOS
 
@@ -164,13 +171,13 @@ def test_executor_layer_overhead_on_clean_sweep(benchmark):
         started = time.perf_counter()
         if round_index == 0:
             executor_outcome = benchmark.pedantic(
-                lambda: run_sweep(spec, max_workers=1),
+                lambda: run_sweep(spec, options=RunOptions(max_workers=1)),
                 rounds=1,
                 iterations=1,
                 warmup_rounds=0,
             )
         else:
-            executor_outcome = run_sweep(spec, max_workers=1)
+            executor_outcome = run_sweep(spec, options=RunOptions(max_workers=1))
         executor_best = min(executor_best, time.perf_counter() - started)
 
     overhead = executor_best / direct_best - 1.0
@@ -266,12 +273,7 @@ def test_kill_resume_recovers_every_checkpoint(benchmark, tmp_path):
     # from disk, only the remainder is solved.
     started = time.perf_counter()
     resumed = benchmark.pedantic(
-        lambda: run_sweep(
-            spec,
-            max_workers=1,
-            cache_dir=cache_dir,
-            execution=ExecutionPolicy(backoff_base=0.0),
-        ),
+        lambda: run_sweep(spec, options=RunOptions(max_workers=1, cache_dir=cache_dir, execution=ExecutionPolicy(backoff_base=0.0))),
         rounds=1,
         iterations=1,
         warmup_rounds=0,
@@ -284,7 +286,7 @@ def test_kill_resume_recovers_every_checkpoint(benchmark, tmp_path):
 
     # Element-wise identical to an uninterrupted run, resumed slots included.
     started = time.perf_counter()
-    reference = run_sweep(spec, max_workers=1)
+    reference = run_sweep(spec, options=RunOptions(max_workers=1))
     reference_seconds = time.perf_counter() - started
     for resumed_result, reference_result in zip(resumed.results, reference.results):
         assert np.array_equal(

@@ -18,7 +18,7 @@ import sys
 import numpy as np
 
 from repro.battery.parameters import KiBaMParameters
-from repro.engine import ExecutionPolicy, SweepSpec, run_sweep
+from repro.engine import ExecutionPolicy, RunOptions, SweepSpec, run_sweep
 from repro.workload.onoff import onoff_workload
 
 #: Scenarios in the resilience sweep.  Each two-well chain solves in
@@ -51,12 +51,7 @@ def resilience_spec(n_scenarios: int = N_SCENARIOS) -> SweepSpec:
 
 def main() -> None:
     cache_dir = sys.argv[1]
-    run_sweep(
-        resilience_spec(),
-        max_workers=1,
-        cache_dir=cache_dir,
-        execution=ExecutionPolicy(backoff_base=0.0),
-    )
+    run_sweep(resilience_spec(), options=RunOptions(max_workers=1, cache_dir=cache_dir, execution=ExecutionPolicy(backoff_base=0.0)))
 
 
 if __name__ == "__main__":

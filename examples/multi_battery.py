@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import KiBaMParameters
-from repro.engine import ScenarioBatch, SweepSpec, run_sweep, solve_lifetime
+from repro.engine import RunOptions, ScenarioBatch, SweepSpec, run_sweep, solve_lifetime
 from repro.engine.workspace import SolveWorkspace
 from repro.multibattery import MultiBatteryProblem, available_policies, get_policy
 from repro.workload.base import WorkloadModel
@@ -84,7 +84,7 @@ def main() -> None:
         policies=["round-robin", "best-of"],
         failures_to_die=1,
     )
-    sweep = run_sweep(spec, max_workers=1)
+    sweep = run_sweep(spec, options=RunOptions(max_workers=1))
     print(f"sweep over {len(spec)} bank scenarios:")
     for result in sweep:
         print(f"  {result.label}: mean {result.mean_lifetime():8.1f} s")

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.battery.parameters import KiBaMParameters
 from repro.battery.units import coulombs_from_milliamp_hours
-from repro.engine import SweepCache, SweepSpec, run_sweep
+from repro.engine import RunOptions, SweepCache, SweepSpec, run_sweep
 from repro.workload import (
     burst_workload,
     duty_cycle_workload,
@@ -58,7 +58,7 @@ def main() -> None:
     print(f"sweep: {len(spec)} scenarios (4 workload families x 3 batteries)")
 
     cache = SweepCache()  # pass SweepCache("some/dir") to persist across runs
-    outcome = run_sweep(spec, cache=cache)
+    outcome = run_sweep(spec, options=RunOptions(cache=cache))
     print(
         f"solved {outcome.diagnostics['n_solved']} scenarios on "
         f"{outcome.diagnostics['n_workers']} worker(s) in "
@@ -71,7 +71,7 @@ def main() -> None:
         print(f"  median {median_hours:5.1f} h | {result.label}")
     print()
 
-    again = run_sweep(spec, cache=cache)
+    again = run_sweep(spec, options=RunOptions(cache=cache))
     hits = sum(result.diagnostics["cache_hit"] for result in again)
     print(
         f"cached re-run: {hits}/{len(again)} scenarios served from cache in "

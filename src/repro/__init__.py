@@ -54,9 +54,16 @@ True
 
 Sub-packages
 ------------
+``repro.api``
+    The blessed public facade: :func:`repro.api.solve`,
+    :func:`repro.api.sweep`, :func:`repro.api.serve` plus the stable
+    request/result types.  New code should import from here.
 ``repro.engine``
     The unified lifetime-solver layer: problems, results, the solver
     registry, batched scenario execution and deterministic-profile helpers.
+``repro.service``
+    The long-lived lifetime-query service: fingerprint-keyed result store
+    with LRU eviction, request coalescing, warm solve workspace.
 ``repro.multibattery``
     Multi-battery scheduling: product-space MRMs (sparse Kronecker
     assembly), the scheduler-policy registry, k-of-N system failure.
@@ -113,12 +120,14 @@ from repro.core import (
 from repro.engine import (
     LifetimeProblem,
     LifetimeResult,
+    RunOptions,
     ScenarioBatch,
     SweepCache,
     SweepSpec,
     run_sweep,
     solve_lifetime,
 )
+from repro.service import LifetimeQuery, LifetimeService
 from repro.simulation import simulate_lifetime_distribution
 from repro.workload import (
     WorkloadBuilder,
@@ -142,11 +151,14 @@ __all__ = [
     "KineticBatteryModel",
     "LifetimeDistribution",
     "LifetimeProblem",
+    "LifetimeQuery",
     "LifetimeResult",
+    "LifetimeService",
     "LifetimeSolver",
     "ModifiedKineticBatteryModel",
     "PeukertBattery",
     "PiecewiseConstantLoad",
+    "RunOptions",
     "ScenarioBatch",
     "SquareWaveLoad",
     "SweepCache",

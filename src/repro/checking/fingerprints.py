@@ -77,6 +77,19 @@ FINGERPRINT_FIELDS = {
             "backend",
         ),
     },
+    "LifetimeQuery": {
+        "relevant": (
+            # The wrapped LifetimeProblem feeds the fingerprint through its
+            # own registry entry; the method is hashed alongside it (exactly
+            # as scenario_fingerprint does for sweeps).
+            "problem",
+            "method",
+        ),
+        "exempt": (
+            # Presentation-only request tag.
+            "label",
+        ),
+    },
     "SweepSpec": {
         "relevant": (
             "workloads",
@@ -157,9 +170,11 @@ def audit_fingerprint_registry() -> None:
     from repro.engine.problem import LifetimeProblem
     from repro.engine.sweep import SweepSpec
     from repro.multibattery.problem import MultiBatteryProblem
+    from repro.service.query import LifetimeQuery
 
     classes: dict[str, type] = {
         "LifetimeProblem": LifetimeProblem,
+        "LifetimeQuery": LifetimeQuery,
         "MultiBatteryProblem": MultiBatteryProblem,
         "SweepSpec": SweepSpec,
     }

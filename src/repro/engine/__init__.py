@@ -58,6 +58,7 @@ from repro.engine.executor import (
     register_executor,
 )
 from repro.engine.faults import InjectedFaultError, override_faults, parse_faults
+from repro.engine.options import RunOptions
 from repro.engine.problem import LifetimeProblem, default_delta
 from repro.engine.registry import (
     available_solvers,
@@ -96,6 +97,7 @@ __all__ = [
     "MRMUniformizationSolver",
     "MonteCarloSolver",
     "ProcessChunkExecutor",
+    "RunOptions",
     "ScenarioBatch",
     "ScenarioFailure",
     "SerialChunkExecutor",

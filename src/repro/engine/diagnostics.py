@@ -118,6 +118,11 @@ DIAGNOSTICS_SCHEMA = {
     "trace_mode": "REPRO_TRACE mode the sweep ran under (off/summary/full)",
     "n_spans": "trace spans held by the driver tracer after the sweep",
     "metrics": "obs metrics snapshot (counters/gauges/histograms) of the run",
+    # -- lifetime-query service (repro.service) ---------------------------
+    "served_from": "how the service answered: solve / cache / coalesced",
+    "query_fingerprint": "audited scenario fingerprint the query keyed on",
+    "query_id": "monotone per-service sequence number of the request",
+    "service_latency_seconds": "request wall time inside the service",
 }
 
 #: The allowed key set, for fast membership checks.

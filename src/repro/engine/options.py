@@ -1,0 +1,101 @@
+"""The :class:`RunOptions` execution configuration of sweeps and the service.
+
+:func:`~repro.engine.sweep.run_sweep` historically grew one keyword
+argument per execution concern -- worker count, cache object, cache
+directory, retry policy, failure mode, executor backend, progress callback
+-- and the lifetime-query service (:mod:`repro.service`) needs exactly the
+same knobs.  :class:`RunOptions` consolidates them into one frozen config
+object that both entry points share: build it once, pass it everywhere.
+
+None of these knobs can change a solved curve, so none of them feeds the
+scenario fingerprints (the same guarantee the
+:data:`repro.checking.fingerprints.EXECUTION_POLICY_EXEMPT` audit makes for
+the :class:`~repro.engine.executor.ExecutionPolicy` carried inside).
+
+The legacy per-kwarg spelling of :func:`~repro.engine.sweep.run_sweep`
+keeps working through a deprecation shim; migrate with the one-liner the
+:class:`DeprecationWarning` prints::
+
+    run_sweep(spec, max_workers=4, cache_dir="cache")            # deprecated
+    run_sweep(spec, options=RunOptions(max_workers=4, cache_dir="cache"))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.executor import FAILURE_MODES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable
+
+    from repro.engine.executor import ExecutionPolicy, SweepProgress
+    from repro.engine.sweep import SweepCache
+
+__all__ = ["RunOptions"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RunOptions:
+    """How to execute a sweep or serve queries -- never *what* to solve.
+
+    Attributes
+    ----------
+    max_workers:
+        Worker-process fan-out; ``None`` uses the CPUs available to the
+        process, ``1`` keeps everything in-process (identical results).
+    cache:
+        A :class:`~repro.engine.sweep.SweepCache` shared across runs;
+        solved scenarios are answered from it without re-solving.
+    cache_dir:
+        Convenience for a disk-backed cache, used only when *cache* is
+        ``None`` (:meth:`resolve_cache` builds one on demand).
+    execution:
+        :class:`~repro.engine.executor.ExecutionPolicy` -- retries,
+        per-chunk timeouts, backoff, failure mode.
+    failure_mode:
+        Shorthand override of ``execution.failure_mode`` (``"strict"`` or
+        ``"degrade"``).
+    executor:
+        Execution backend: a registered name (``"serial"`` /
+        ``"process"`` / anything added via
+        :func:`repro.engine.executor.register_executor`), an executor
+        instance, or ``None`` to choose by parallelism.
+    progress:
+        Callback receiving :class:`~repro.engine.executor.SweepProgress`
+        events while a sweep runs.
+    """
+
+    max_workers: int | None = None
+    cache: "SweepCache | None" = None
+    cache_dir: str | os.PathLike[str] | None = None
+    execution: "ExecutionPolicy | None" = None
+    failure_mode: str | None = None
+    executor: "str | Any | None" = None
+    progress: "Callable[[SweepProgress], None] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and int(self.max_workers) < 1:
+            raise ValueError("max_workers must be at least 1")
+        if self.failure_mode is not None and self.failure_mode not in FAILURE_MODES:
+            raise ValueError(
+                f"failure_mode {self.failure_mode!r} is not one of {FAILURE_MODES}"
+            )
+
+    # ------------------------------------------------------------------
+    def merged(self, **overrides: Any) -> "RunOptions":
+        """Return a copy with every non-``None`` override applied."""
+        changed = {name: value for name, value in overrides.items() if value is not None}
+        return dataclasses.replace(self, **changed) if changed else self
+
+    def resolve_cache(self) -> "SweepCache | None":
+        """The cache to use: the explicit one, or one built from *cache_dir*."""
+        if self.cache is not None:
+            return self.cache
+        if self.cache_dir is not None:
+            from repro.engine.sweep import SweepCache
+
+            return SweepCache(self.cache_dir)
+        return None

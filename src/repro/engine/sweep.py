@@ -39,6 +39,8 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
+import warnings
 from collections.abc import Iterable, Sequence
 from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
@@ -63,6 +65,7 @@ from repro.engine.executor import (
     get_executor_factory,
 )
 from repro.engine.faults import FaultPlan, faults_spec
+from repro.engine.options import RunOptions
 from repro.engine.problem import LifetimeProblem
 from repro.engine.result import LifetimeResult
 from repro.engine.solvers import MRMUniformizationSolver, choose_method
@@ -187,17 +190,40 @@ class SweepCache:
 
     The on-disk format is plain :mod:`pickle`; only point the cache at
     directories you trust.
+
+    Caches are **thread-safe** (a single re-entrant lock guards lookups,
+    stores and counters) so one instance can back the concurrent request
+    handlers of :class:`repro.service.LifetimeService` as its shared
+    result store.  For that long-lived serving role two knobs matter:
+
+    * *max_entries* bounds the in-memory tier with LRU eviction -- the
+      least recently *used* entry is dropped once the bound is exceeded
+      (disk envelopes are never evicted, so an evicted entry degrades to
+      a ``disk_hits`` re-load instead of a re-solve);
+    * the hit/miss counters are resettable per observation window via
+      :meth:`reset_stats`, so a service can report steady-state hit rates
+      instead of numbers forever diluted by its warmup misses.
     """
 
-    def __init__(self, directory: str | os.PathLike[str] | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike[str] | None = None,
+        *,
+        max_entries: int | None = None,
+    ) -> None:
+        if max_entries is not None and int(max_entries) < 1:
+            raise ValueError("max_entries must be at least 1 (or None for unbounded)")
         self._memory: dict[str, LifetimeResult] = {}
         self._directory = os.fspath(directory) if directory is not None else None
         if self._directory is not None:
             os.makedirs(self._directory, exist_ok=True)
+        self._lock = threading.RLock()
+        self.max_entries = None if max_entries is None else int(max_entries)
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.quarantined = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -281,20 +307,40 @@ class SweepCache:
         result: LifetimeResult = envelope["result"]
         return result
 
+    def _evict_over_bound(self) -> None:
+        """Drop least-recently-used in-memory entries past *max_entries*.
+
+        Caller must hold the lock.  Recency is the dict insertion order:
+        :meth:`get` re-inserts on hit, so the first key is always the
+        least recently used.  Disk envelopes survive eviction.
+        """
+        if self.max_entries is None:
+            return
+        while len(self._memory) > self.max_entries:
+            oldest = next(iter(self._memory))
+            del self._memory[oldest]
+            self.evictions += 1
+
     # ------------------------------------------------------------------
     def get(self, fingerprint: str) -> LifetimeResult | None:
         """Return the cached result for *fingerprint*, or ``None``."""
-        result = self._memory.get(fingerprint)
-        if result is None and self._directory is not None:
-            result = self._load_entry(fingerprint)
+        with self._lock:
+            result = self._memory.get(fingerprint)
             if result is not None:
+                # Refresh recency so hot fingerprints survive LRU eviction.
+                del self._memory[fingerprint]
                 self._memory[fingerprint] = result
-                self.disk_hits += 1
-        if result is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return result
+            elif self._directory is not None:
+                result = self._load_entry(fingerprint)
+                if result is not None:
+                    self._memory[fingerprint] = result
+                    self.disk_hits += 1
+                    self._evict_over_bound()
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return result
 
     def put(self, fingerprint: str, result: LifetimeResult, *, memory_only: bool = False) -> None:
         """Store *result* under *fingerprint* (atomically on disk).
@@ -303,10 +349,13 @@ class SweepCache:
         driver when the worker already checkpointed the entry, so each
         result is persisted exactly once.
         """
-        self._memory[fingerprint] = result
-        if self._directory is None or memory_only:
-            return
-        self.write_entry(self._directory, fingerprint, result)
+        with self._lock:
+            self._memory.pop(fingerprint, None)
+            self._memory[fingerprint] = result
+            self._evict_over_bound()
+            if self._directory is None or memory_only:
+                return
+            self.write_entry(self._directory, fingerprint, result)
 
     def stats(self) -> dict[str, int]:
         """Return hit/miss counters and entry counts (memory *and* disk).
@@ -314,22 +363,42 @@ class SweepCache:
         ``disk_entries`` counts the ``*.pkl`` files actually on disk -- a
         resumed process reports its warm on-disk cache instead of a
         misleading empty in-memory dict; ``disk_hits`` counts lookups
-        served from disk (i.e. resumed entries) and ``quarantined`` the
-        bad files this instance renamed ``*.corrupt``.
+        served from disk (i.e. resumed entries), ``quarantined`` the bad
+        files this instance renamed ``*.corrupt``, and ``evictions`` the
+        in-memory entries dropped by the LRU bound.
         """
         disk_entries = 0
         if self._directory is not None:
             disk_entries = sum(
                 1 for name in os.listdir(self._directory) if name.endswith(".pkl")
             )
-        return {
-            "entries": len(self._memory),
-            "disk_entries": disk_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "disk_hits": self.disk_hits,
-            "quarantined": self.quarantined,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._memory),
+                "disk_entries": disk_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "quarantined": self.quarantined,
+                "evictions": self.evictions,
+            }
+
+    def reset_stats(self) -> dict[str, int]:
+        """Zero the lookup counters and return the pre-reset snapshot.
+
+        Entry counts are state, not traffic, so they are left alone; the
+        hit/miss/disk-hit/quarantine/eviction counters restart at zero.
+        The service calls this at observation-window boundaries so served
+        hit rates describe the current window, not process lifetime.
+        """
+        with self._lock:
+            snapshot = self.stats()
+            self.hits = 0
+            self.misses = 0
+            self.disk_hits = 0
+            self.quarantined = 0
+            self.evictions = 0
+            return snapshot
 
 
 # ----------------------------------------------------------------------
@@ -780,10 +849,22 @@ def default_worker_count() -> int:
         return os.cpu_count() or 1
 
 
+_LEGACY_RUN_SWEEP_KWARGS = (
+    "max_workers",
+    "cache",
+    "cache_dir",
+    "execution",
+    "failure_mode",
+    "executor",
+    "progress",
+)
+
+
 def run_sweep(
     scenarios: SweepSpec | ScenarioBatch | Iterable[LifetimeProblem],
     method: str = "auto",
     *,
+    options: RunOptions | None = None,
     max_workers: int | None = None,
     cache: SweepCache | None = None,
     cache_dir: str | os.PathLike[str] | None = None,
@@ -803,45 +884,48 @@ def run_sweep(
     method:
         Registry key applied to every scenario when *scenarios* is not a
         :class:`SweepSpec`; ``"auto"`` resolves per scenario.
-    max_workers:
-        Worker-process count; ``None`` uses the CPUs available to this
-        process and ``1`` solves everything in-process (same code path,
-        identical results).
-    cache:
-        Optional :class:`SweepCache`.  Scenarios found in the cache are not
-        solved again; their results carry ``diagnostics["cache_hit"] ==
-        True``.  Freshly solved scenarios are stored back and carry
-        ``cache_hit == False``.  With a disk-backed cache, workers
-        checkpoint each solved chain-sharing group to the cache directory
-        *as it finishes*, so a sweep killed mid-run resumes from its last
-        completed group (``diagnostics["resumed_hits"]`` counts the
-        entries a run recovered from disk).
-    cache_dir:
-        Convenience: directory for a disk-backed cache, used only when
-        *cache* is ``None``.
-    execution:
-        :class:`~repro.engine.executor.ExecutionPolicy` controlling
-        retries, per-chunk timeouts, backoff and the failure mode.
-        Default: the spec's ``execution`` field, else the policy defaults
-        (two retries, no timeout, strict).  None of these knobs affects
-        cache fingerprints.
-    failure_mode:
-        Shorthand override of ``execution.failure_mode``: ``"strict"``
-        raises :class:`SweepScenarioError` naming the failing scenarios
-        once their retries are exhausted; ``"degrade"`` returns a partial
-        :class:`SweepResult` whose failed slots carry structured
-        :class:`~repro.engine.executor.ScenarioFailure` records.
-    executor:
-        Execution backend: a registered name (``"serial"``,
-        ``"process"``, or anything added via
-        :func:`repro.engine.executor.register_executor`), an executor
-        instance, or ``None`` to choose ``"process"`` for parallel runs
-        and ``"serial"`` otherwise.
-    progress:
-        Optional callback receiving
-        :class:`~repro.engine.executor.SweepProgress` events (scenario
-        counts, retries, elapsed and ETA seconds) after the cache scan and
-        after every completed or failed chunk.
+    options:
+        :class:`~repro.engine.options.RunOptions` bundling every execution
+        knob -- worker count, cache, execution policy, failure mode,
+        executor backend, progress callback.  This is the documented
+        spelling; the per-kwarg parameters below are a deprecated
+        compatibility shim and emit :class:`DeprecationWarning`.
+
+        Highlights (see :class:`~repro.engine.options.RunOptions` for the
+        full reference):
+
+        * ``max_workers`` -- worker-process count; ``None`` uses the CPUs
+          available to this process and ``1`` solves everything in-process
+          (same code path, identical results).
+        * ``cache`` -- optional :class:`SweepCache`.  Scenarios found in
+          the cache are not solved again; their results carry
+          ``diagnostics["cache_hit"] == True``.  Freshly solved scenarios
+          are stored back and carry ``cache_hit == False``.  With a
+          disk-backed cache, workers checkpoint each solved chain-sharing
+          group to the cache directory *as it finishes*, so a sweep killed
+          mid-run resumes from its last completed group
+          (``diagnostics["resumed_hits"]`` counts the entries a run
+          recovered from disk).  ``cache_dir`` is the convenience
+          spelling, used only when ``cache`` is ``None``.
+        * ``execution`` -- :class:`~repro.engine.executor.ExecutionPolicy`
+          controlling retries, per-chunk timeouts, backoff and the failure
+          mode.  Default: the spec's ``execution`` field, else the policy
+          defaults (two retries, no timeout, strict).  None of these knobs
+          affects cache fingerprints.  ``failure_mode`` is a shorthand
+          override: ``"strict"`` raises :class:`SweepScenarioError` naming
+          the failing scenarios once their retries are exhausted;
+          ``"degrade"`` returns a partial :class:`SweepResult` whose
+          failed slots carry structured
+          :class:`~repro.engine.executor.ScenarioFailure` records.
+        * ``executor`` -- execution backend: a registered name
+          (``"serial"``, ``"process"``, or anything added via
+          :func:`repro.engine.executor.register_executor`), an executor
+          instance, or ``None`` to choose ``"process"`` for parallel runs
+          and ``"serial"`` otherwise.
+        * ``progress`` -- optional callback receiving
+          :class:`~repro.engine.executor.SweepProgress` events (scenario
+          counts, retries, elapsed and ETA seconds) after the cache scan
+          and after every completed or failed chunk.
 
     Returns
     -------
@@ -851,8 +935,30 @@ def run_sweep(
         ``n_chunks``, ``cache_hits``, ``n_retries``, ``resumed_hits``,
         ``wall_seconds``, ...).
     """
-    if cache is None and cache_dir is not None:
-        cache = SweepCache(cache_dir)
+    legacy = {
+        "max_workers": max_workers,
+        "cache": cache,
+        "cache_dir": cache_dir,
+        "execution": execution,
+        "failure_mode": failure_mode,
+        "executor": executor,
+        "progress": progress,
+    }
+    used_legacy = [name for name in _LEGACY_RUN_SWEEP_KWARGS if legacy[name] is not None]
+    if used_legacy:
+        warnings.warn(
+            f"run_sweep({', '.join(name + '=' for name in used_legacy)}...) is deprecated; "
+            f"pass options=RunOptions({', '.join(name + '=...' for name in used_legacy)}) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    opts = (options or RunOptions()).merged(**legacy)
+    max_workers = opts.max_workers
+    execution = opts.execution
+    failure_mode = opts.failure_mode
+    executor = opts.executor
+    progress = opts.progress
+    cache = opts.resolve_cache()
 
     with ExitStack() as scope:
         # A spec-carried trace mode wins for the duration of this run

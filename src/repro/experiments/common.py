@@ -25,6 +25,7 @@ from repro.battery.parameters import KiBaMParameters
 from repro.obs import events
 from repro.engine import (
     LifetimeProblem,
+    RunOptions,
     ScenarioBatch,
     SolveWorkspace,
     SweepCache,
@@ -104,26 +105,27 @@ def print_sweep_progress(event: "SweepProgress") -> None:
     print(line, file=sys.stderr)
 
 
-def sweep_options(config: "ExperimentConfig | None") -> dict[str, Any]:
-    """The :func:`run_sweep` keyword options an :class:`ExperimentConfig` implies.
+def sweep_options(config: "ExperimentConfig | None") -> RunOptions:
+    """The :class:`RunOptions` an :class:`ExperimentConfig` implies.
 
     Threads the worker count, the shared durable cache (``cache_dir`` /
     ``resume``) and the progress printer into every driver sweep with one
-    ``run_sweep(..., **sweep_options(config))`` call.  Progress events are
-    delivered through the :mod:`repro.obs.events` bus (``--progress``
-    subscribes the stderr printer to it), so additional consumers can
-    observe the same sweeps without touching the drivers.
+    ``run_sweep(..., options=sweep_options(config))`` call.  Progress
+    events are delivered through the :mod:`repro.obs.events` bus
+    (``--progress`` subscribes the stderr printer to it), so additional
+    consumers can observe the same sweeps without touching the drivers.
     """
     if config is None:
-        return {"max_workers": 1}
-    options: dict[str, Any] = {"max_workers": config.workers}
-    cache = shared_cache(config.cache_dir, resume=config.resume)
-    if cache is not None:
-        options["cache"] = cache
+        return RunOptions(max_workers=1)
+    progress = None
     if config.progress:
         events.subscribe(print_sweep_progress)
-        options["progress"] = events.emit
-    return options
+        progress = events.emit
+    return RunOptions(
+        max_workers=config.workers,
+        cache=shared_cache(config.cache_dir, resume=config.resume),
+        progress=progress,
+    )
 
 
 def lifetime_problem(
@@ -188,7 +190,7 @@ def approximation_curves(
     """
     base = lifetime_problem(workload, battery, times, delta=float(deltas[0]), epsilon=epsilon)
     batch = ScenarioBatch.over_deltas(base, [float(d) for d in deltas], label_format=label_format)
-    return run_sweep(batch, "mrm-uniformization", **sweep_options(config)).distributions
+    return run_sweep(batch, "mrm-uniformization", options=sweep_options(config)).distributions
 
 
 def simulation_curve(

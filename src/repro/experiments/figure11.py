@@ -51,7 +51,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         for label, workload in (("simple model", simple), ("burst model", burst))
     )
     simple_curve, burst_curve = run_sweep(
-        batch, "mrm-uniformization", **sweep_options(config)
+        batch, "mrm-uniformization", options=sweep_options(config)
     ).distributions
 
     table = format_series([simple_curve, burst_curve], times, time_label="t (h)", time_scale=3600.0)

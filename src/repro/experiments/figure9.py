@@ -56,7 +56,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         for label, battery, delta in scenarios
     )
     curves = run_sweep(
-        batch, "mrm-uniformization", **sweep_options(config)
+        batch, "mrm-uniformization", options=sweep_options(config)
     ).distributions
 
     table = format_series(curves, times, time_label="t (s)")

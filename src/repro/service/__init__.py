@@ -1,0 +1,28 @@
+"""The lifetime-query service.
+
+A long-lived, in-process server for the paper's core question -- the
+battery-lifetime distribution of a stochastic workload -- built for
+fleets of near-identical queries: results are stored by audited scenario
+fingerprint, concurrent identical requests coalesce onto one solve, and
+a warm :class:`~repro.engine.workspace.SolveWorkspace` amortises
+uniformised matrices and Poisson tables across requests.
+
+>>> from repro.service import LifetimeQuery, LifetimeService
+>>> service = LifetimeService()                        # doctest: +SKIP
+>>> response = service.query(workload, battery, times) # doctest: +SKIP
+>>> response.served_from                               # doctest: +SKIP
+'solve'
+
+``tools/repro_serve.py`` wraps this module in a JSONL / HTTP front; the
+blessed import path is :mod:`repro.api` (``repro.api.serve``).
+"""
+
+from repro.service.query import LifetimeQuery
+from repro.service.server import DEFAULT_STORE_ENTRIES, LifetimeService, ServiceResponse
+
+__all__ = [
+    "DEFAULT_STORE_ENTRIES",
+    "LifetimeQuery",
+    "LifetimeService",
+    "ServiceResponse",
+]

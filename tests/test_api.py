@@ -1,0 +1,117 @@
+"""Tests of the ``repro.api`` public facade.
+
+The facade is the documented surface: three verbs (``solve`` / ``sweep``
+/ ``serve``) plus the blessed types, all named in an explicit
+``__all__``.  The old deep-import paths must keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api as api
+from repro.battery.parameters import KiBaMParameters
+from repro.workload.base import WorkloadModel
+
+TIMES = np.linspace(0.0, 300.0, 16)
+
+WORKLOAD = WorkloadModel(
+    state_names=("busy", "idle"),
+    generator=np.array([[-0.02, 0.02], [0.02, -0.02]]),
+    currents=np.array([1.0, 0.05]),
+    initial_distribution=np.array([1.0, 0.0]),
+)
+
+BATTERY = KiBaMParameters(capacity=60.0, c=0.625, k=1e-3)
+
+
+def make_problem() -> "api.LifetimeProblem":
+    return api.LifetimeProblem(
+        workload=WORKLOAD, battery=BATTERY, times=TIMES, delta=2.0, epsilon=1e-6
+    )
+
+
+class TestSurface:
+    def test_all_names_exist_and_are_exhaustive(self) -> None:
+        assert sorted(api.__all__) == sorted(set(api.__all__))
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_verbs_are_present(self) -> None:
+        assert callable(api.solve)
+        assert callable(api.sweep)
+        assert callable(api.serve)
+
+    def test_facade_reexports_are_the_deep_objects(self) -> None:
+        from repro.engine.options import RunOptions
+        from repro.engine.problem import LifetimeProblem
+        from repro.engine.result import LifetimeResult
+        from repro.engine.sweep import SweepCache, SweepSpec, scenario_fingerprint
+        from repro.service import LifetimeQuery, LifetimeService
+
+        assert api.LifetimeProblem is LifetimeProblem
+        assert api.LifetimeResult is LifetimeResult
+        assert api.LifetimeQuery is LifetimeQuery
+        assert api.LifetimeService is LifetimeService
+        assert api.RunOptions is RunOptions
+        assert api.SweepSpec is SweepSpec
+        assert api.SweepCache is SweepCache
+        assert api.scenario_fingerprint is scenario_fingerprint
+
+    def test_old_entry_points_keep_working(self) -> None:
+        from repro.engine import run_sweep, solve_lifetime
+        from repro.engine.registry import solve_lifetime as deep_solve
+        from repro.engine.sweep import run_sweep as deep_sweep
+
+        assert solve_lifetime is deep_solve
+        assert run_sweep is deep_sweep
+        assert repro.solve_lifetime is deep_solve
+        assert repro.run_sweep is deep_sweep
+
+    def test_top_level_exports_service_types(self) -> None:
+        assert repro.LifetimeService is api.LifetimeService
+        assert repro.LifetimeQuery is api.LifetimeQuery
+        assert repro.RunOptions is api.RunOptions
+        for name in ("LifetimeQuery", "LifetimeService", "RunOptions"):
+            assert name in repro.__all__
+
+
+class TestVerbs:
+    def test_solve(self) -> None:
+        result = api.solve(make_problem(), "mrm-uniformization")
+        assert isinstance(result, api.LifetimeResult)
+        assert result.method == "mrm-uniformization"
+        assert float(result.probabilities[-1]) > 0.0
+
+    def test_solve_with_workspace(self) -> None:
+        workspace = api.SolveWorkspace()
+        api.solve(make_problem(), "mrm-uniformization", workspace=workspace)
+        assert workspace.diagnostics()["chain_builds"] == 1
+
+    def test_sweep_takes_run_options(self) -> None:
+        cache = api.SweepCache()
+        outcome = api.sweep(
+            [make_problem()],
+            "mrm-uniformization",
+            options=api.RunOptions(max_workers=1, cache=cache),
+        )
+        assert isinstance(outcome, api.SweepResult)
+        assert len(cache) == 1
+
+    def test_sweep_rejects_legacy_kwargs(self) -> None:
+        with pytest.raises(TypeError):
+            api.sweep([make_problem()], "mrm-uniformization", max_workers=1)
+
+    def test_serve(self) -> None:
+        service = api.serve(max_entries=4)
+        assert isinstance(service, api.LifetimeService)
+        assert service.store.max_entries == 4
+        response = service.query(WORKLOAD, BATTERY, TIMES, delta=2.0, epsilon=1e-6)
+        assert isinstance(response, api.ServiceResponse)
+        assert response.served_from == "solve"
+
+    def test_serve_honours_run_options_cache(self, tmp_path) -> None:
+        service = api.serve(options=api.RunOptions(cache_dir=tmp_path))
+        assert service.store.directory == str(tmp_path)

@@ -24,6 +24,7 @@ from repro.battery.parameters import KiBaMParameters
 from repro.engine import (
     ExecutionPolicy,
     InjectedFaultError,
+    RunOptions,
     SweepCache,
     SweepScenarioError,
     SweepSpec,
@@ -64,7 +65,7 @@ DEGRADE = ExecutionPolicy(backoff_base=0.0, failure_mode="degrade")
 @pytest.fixture(scope="module")
 def clean() -> "object":
     """The uninterrupted sweep every faulted run must reproduce exactly."""
-    return run_sweep(SPEC, max_workers=1, execution=FAST)
+    return run_sweep(SPEC, options=RunOptions(max_workers=1, execution=FAST))
 
 
 def assert_curves_match(result, reference, indices=None) -> None:
@@ -284,7 +285,7 @@ class TestExecutorRegistry:
 
     def test_run_sweep_rejects_unknown_executor(self) -> None:
         with pytest.raises(ValueError, match="unknown executor"):
-            run_sweep(SPEC, max_workers=1, executor="carrier-pigeon")
+            run_sweep(SPEC, options=RunOptions(max_workers=1, executor="carrier-pigeon"))
 
 
 # ----------------------------------------------------------------------
@@ -295,7 +296,7 @@ class TestExecutorRegistry:
 class TestSweepFaultTolerance:
     def test_crash_once_is_retried_transparently(self, clean) -> None:
         with override_faults("crash:max_attempt=1"):
-            result = run_sweep(SPEC, max_workers=1, execution=FAST)
+            result = run_sweep(SPEC, options=RunOptions(max_workers=1, execution=FAST))
         assert result.diagnostics["n_retries"] >= 1
         assert result.diagnostics["n_failed"] == 0
         assert_curves_match(result, clean)
@@ -303,13 +304,13 @@ class TestSweepFaultTolerance:
     def test_strict_failure_names_exactly_the_poison_scenario(self) -> None:
         with override_faults("crash:match=C=80"):
             with pytest.raises(SweepScenarioError) as excinfo:
-                run_sweep(SPEC, max_workers=1, execution=FAST)
+                run_sweep(SPEC, options=RunOptions(max_workers=1, execution=FAST))
         assert excinfo.value.labels == ("simple | C=80, c=0.625, k=0.001",)
         assert "C=80" in str(excinfo.value)
 
     def test_degrade_isolates_the_poison_scenario(self, clean) -> None:
         with override_faults("crash:match=C=80"):
-            result = run_sweep(SPEC, max_workers=1, execution=DEGRADE)
+            result = run_sweep(SPEC, options=RunOptions(max_workers=1, execution=DEGRADE))
         labels = [problem.label for problem in SPEC.scenarios()[0]]
         poisoned = labels.index("simple | C=80, c=0.625, k=0.001")
         assert result.failed_indices == [poisoned]
@@ -319,7 +320,7 @@ class TestSweepFaultTolerance:
 
     def test_degraded_slot_carries_a_schema_valid_failure_record(self) -> None:
         with override_faults("crash:match=C=80"):
-            result = run_sweep(SPEC, max_workers=1, execution=DEGRADE)
+            result = run_sweep(SPEC, options=RunOptions(max_workers=1, execution=DEGRADE))
         slot = result.results[result.failed_indices[0]]
         assert slot.method == FAILED_METHOD
         assert np.all(np.isnan(slot.probabilities))
@@ -333,19 +334,19 @@ class TestSweepFaultTolerance:
 
     def test_corrupt_result_is_detected_and_retried(self, clean) -> None:
         with override_faults("corrupt:max_attempt=1"):
-            result = run_sweep(SPEC, max_workers=1, execution=FAST)
+            result = run_sweep(SPEC, options=RunOptions(max_workers=1, execution=FAST))
         assert result.diagnostics["n_retries"] >= 1
         assert_curves_match(result, clean)
 
     def test_persistent_corruption_degrades(self) -> None:
         with override_faults("corrupt:match=C=80"):
-            result = run_sweep(SPEC, max_workers=1, execution=DEGRADE)
+            result = run_sweep(SPEC, options=RunOptions(max_workers=1, execution=DEGRADE))
         record = result.results[result.failed_indices[0]].diagnostics["failure"]
         assert record["error_type"] == "CorruptResultError"
 
     def test_progress_events_reach_the_callback(self) -> None:
         events = []
-        result = run_sweep(SPEC, max_workers=1, execution=FAST, progress=events.append)
+        result = run_sweep(SPEC, options=RunOptions(max_workers=1, execution=FAST, progress=events.append))
         assert events[0].done == 0 and events[0].total == 3
         assert events[-1].done == 3 and events[-1].failed == 0
         assert events[-1].eta_seconds == 0.0
@@ -359,7 +360,7 @@ class TestSweepFaultTolerance:
 
 class TestProcessExecutorRecovery:
     def test_parallel_results_match_serial(self, clean) -> None:
-        result = run_sweep(SPEC, max_workers=2, execution=FAST)
+        result = run_sweep(SPEC, options=RunOptions(max_workers=2, execution=FAST))
         assert result.diagnostics["executor"] == "process"
         assert result.diagnostics["parallel"] is True
         assert_curves_match(result, clean)
@@ -367,7 +368,7 @@ class TestProcessExecutorRecovery:
     def test_hung_chunk_is_timed_out_and_retried(self, clean) -> None:
         policy = ExecutionPolicy(backoff_base=0.0, chunk_timeout=2.0)
         with override_faults("hang:seconds=60:max_attempt=1:match=C=60"):
-            result = run_sweep(SPEC, max_workers=2, execution=policy, executor="process")
+            result = run_sweep(SPEC, options=RunOptions(max_workers=2, execution=policy, executor="process"))
         assert result.diagnostics["n_timeouts"] >= 1
         assert result.diagnostics["n_pool_rebuilds"] >= 1
         assert result.diagnostics["n_failed"] == 0
@@ -375,7 +376,7 @@ class TestProcessExecutorRecovery:
 
     def test_killed_worker_rebuilds_the_pool(self, clean) -> None:
         with override_faults("kill:max_attempt=1:match=C=80"):
-            result = run_sweep(SPEC, max_workers=2, execution=FAST, executor="process")
+            result = run_sweep(SPEC, options=RunOptions(max_workers=2, execution=FAST, executor="process"))
         assert result.diagnostics["n_pool_rebuilds"] >= 1
         assert result.diagnostics["n_retries"] >= 1
         assert result.diagnostics["n_failed"] == 0
@@ -389,11 +390,11 @@ class TestProcessExecutorRecovery:
 
 class TestCheckpointResume:
     def test_workers_stream_checkpoints_and_a_fresh_run_resumes(self, tmp_path, clean) -> None:
-        first = run_sweep(SPEC, max_workers=1, execution=FAST, cache_dir=tmp_path)
+        first = run_sweep(SPEC, options=RunOptions(max_workers=1, execution=FAST, cache_dir=tmp_path))
         assert first.diagnostics["checkpointed"] == 3
         assert first.diagnostics["cache"]["disk_entries"] == 3
         # A brand-new process (fresh cache instance) resumes from disk.
-        resumed = run_sweep(SPEC, max_workers=1, execution=FAST, cache_dir=tmp_path)
+        resumed = run_sweep(SPEC, options=RunOptions(max_workers=1, execution=FAST, cache_dir=tmp_path))
         assert resumed.diagnostics["resumed_hits"] == 3
         assert resumed.diagnostics["n_solved"] == 0
         assert resumed.diagnostics["cache_hits"] == 3
@@ -409,7 +410,7 @@ class TestCheckpointResume:
             import numpy as np
 
             from repro.battery.parameters import KiBaMParameters
-            from repro.engine import ExecutionPolicy, SweepSpec, run_sweep
+            from repro.engine import ExecutionPolicy, RunOptions, SweepSpec, run_sweep
 
             spec = SweepSpec(
                 workloads=["simple"],
@@ -420,12 +421,7 @@ class TestCheckpointResume:
                 times=np.linspace(10.0, 400.0, 12),
                 methods=["mrm-uniformization"],
             )
-            run_sweep(
-                spec,
-                max_workers=1,
-                execution=ExecutionPolicy(backoff_base=0.0),
-                cache_dir=sys.argv[1],
-            )
+            run_sweep(spec, options=RunOptions(max_workers=1, execution=ExecutionPolicy(backoff_base=0.0), cache_dir=sys.argv[1]))
             """
         )
         env = dict(os.environ)
@@ -444,7 +440,7 @@ class TestCheckpointResume:
         survived = sorted(tmp_path.glob("*.pkl"))
         assert len(survived) == 2  # every group before the kill is on disk
 
-        resumed = run_sweep(SPEC, max_workers=1, execution=FAST, cache_dir=tmp_path)
+        resumed = run_sweep(SPEC, options=RunOptions(max_workers=1, execution=FAST, cache_dir=tmp_path))
         # Zero completed scenarios are re-solved: the two checkpointed ones
         # come back from disk, only the killed scenario is solved.
         assert resumed.diagnostics["resumed_hits"] == 2
@@ -453,7 +449,7 @@ class TestCheckpointResume:
         assert_curves_match(resumed, clean)
 
     def test_checkpoints_are_valid_cache_envelopes(self, tmp_path) -> None:
-        run_sweep(SPEC, max_workers=1, execution=FAST, cache_dir=tmp_path)
+        run_sweep(SPEC, options=RunOptions(max_workers=1, execution=FAST, cache_dir=tmp_path))
         for path in tmp_path.glob("*.pkl"):
             with open(path, "rb") as handle:
                 envelope = pickle.load(handle)
@@ -485,13 +481,7 @@ class TestFingerprintInvariance:
 
     def test_cache_written_under_one_policy_serves_another(self, tmp_path) -> None:
         cache = SweepCache(tmp_path)
-        run_sweep(SPEC, max_workers=1, execution=FAST, cache=cache)
-        second = run_sweep(
-            SPEC,
-            max_workers=1,
-            execution=ExecutionPolicy(max_retries=0, chunk_timeout=60.0),
-            failure_mode="degrade",
-            cache=cache,
-        )
+        run_sweep(SPEC, options=RunOptions(max_workers=1, execution=FAST, cache=cache))
+        second = run_sweep(SPEC, options=RunOptions(max_workers=1, execution=ExecutionPolicy(max_retries=0, chunk_timeout=60.0), failure_mode="degrade", cache=cache))
         assert second.diagnostics["cache_hits"] == 3
         assert second.diagnostics["n_solved"] == 0

@@ -131,9 +131,10 @@ class TestDurableCachePlumbing:
         assert config.resume is False
 
     def test_sweep_options_without_config(self):
+        from repro.engine import RunOptions
         from repro.experiments.common import sweep_options
 
-        assert sweep_options(None) == {"max_workers": 1}
+        assert sweep_options(None) == RunOptions(max_workers=1)
 
     def test_sweep_options_thread_cache_and_progress(self, monkeypatch, tmp_path):
         from repro.engine import SweepCache
@@ -143,16 +144,16 @@ class TestDurableCachePlumbing:
         monkeypatch.setattr(common, "_SHARED_CACHES", {})
         config = ExperimentConfig(workers=2, cache_dir=str(tmp_path), progress=True)
         options = common.sweep_options(config)
-        assert options["max_workers"] == 2
-        assert isinstance(options["cache"], SweepCache)
+        assert options.max_workers == 2
+        assert isinstance(options.cache, SweepCache)
         # --progress routes through the obs event bus: the printer is a
         # subscriber, and the sweep callback is the bus itself.
-        assert options["progress"] is events.emit
+        assert options.progress is events.emit
         assert common.print_sweep_progress in events._handlers
         events.unsubscribe(common.print_sweep_progress)
         # The same directory maps to the same cache instance, so hit and
         # resume counters aggregate across all drivers of one run.
-        assert common.sweep_options(config)["cache"] is options["cache"]
+        assert common.sweep_options(config).cache is options.cache
 
     def test_warm_directory_requires_resume(self, monkeypatch, tmp_path):
         from repro.experiments import common

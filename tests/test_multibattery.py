@@ -21,6 +21,7 @@ from repro.core.grid import RewardGrid
 from repro.core.kibamrm import KiBaMRM
 from repro.engine import (
     LifetimeProblem,
+    RunOptions,
     ScenarioBatch,
     SweepCache,
     SweepSpec,
@@ -380,9 +381,9 @@ class TestEngineThreading:
         )
         assert len(spec) == 2
         cache = SweepCache()
-        first = run_sweep(spec, max_workers=1, cache=cache)
+        first = run_sweep(spec, options=RunOptions(max_workers=1, cache=cache))
         assert first.diagnostics["n_solved"] == 2
-        again = run_sweep(spec, max_workers=1, cache=cache)
+        again = run_sweep(spec, options=RunOptions(max_workers=1, cache=cache))
         assert again.diagnostics["cache_hits"] == 2
         assert again.diagnostics["n_solved"] == 0
         for before, after in zip(first, again):
@@ -471,7 +472,7 @@ class TestEngineThreading:
             n_runs=150,
             methods=["mrm-uniformization", "monte-carlo"],
         )
-        swept = run_sweep(spec, max_workers=1)
+        swept = run_sweep(spec, options=RunOptions(max_workers=1))
         mc_with_mrm = swept[1]
         # The canonical result for this fingerprint: the same generated
         # scenario solved standalone (no workspace, hence no cap).

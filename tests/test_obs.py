@@ -23,6 +23,7 @@ from repro.checking.fingerprints import audit_fingerprint_registry
 from repro.checking.protocols import TraceSink
 from repro.engine import (
     ExecutionPolicy,
+    RunOptions,
     SweepCache,
     SweepSpec,
     override_faults,
@@ -318,7 +319,7 @@ class TestSweepIntegration:
             trace="full",
         )
         with obs.override_metrics() as registry:
-            result = run_sweep(spec, max_workers=1, execution=FAST)
+            result = run_sweep(spec, options=RunOptions(max_workers=1, execution=FAST))
         validate_diagnostics(result.diagnostics)
         assert result.diagnostics["trace_mode"] == "full"
         assert result.diagnostics["n_spans"] > 0
@@ -329,7 +330,7 @@ class TestSweepIntegration:
 
     def test_untraced_sweep_reports_off_mode(self, monkeypatch) -> None:
         monkeypatch.delenv(obs.ENV_VAR, raising=False)
-        result = run_sweep(SPEC, max_workers=1, execution=FAST)
+        result = run_sweep(SPEC, options=RunOptions(max_workers=1, execution=FAST))
         validate_diagnostics(result.diagnostics)
         assert result.diagnostics["trace_mode"] == "off"
         assert "n_spans" not in result.diagnostics
@@ -339,12 +340,7 @@ class TestSweepIntegration:
         cache = SweepCache(tmp_path / "cache")
         with obs.override_trace("full") as tracer:
             with override_faults("crash:max_attempt=1:match=C=80"):
-                result = run_sweep(
-                    SPEC,
-                    max_workers=1,
-                    cache=cache,
-                    execution=ExecutionPolicy(backoff_base=0.001),
-                )
+                result = run_sweep(SPEC, options=RunOptions(max_workers=1, cache=cache, execution=ExecutionPolicy(backoff_base=0.001)))
             assert tracer is not None
             path = tmp_path / "trace.jsonl"
             tracer.export_jsonl(path)
@@ -381,7 +377,7 @@ class TestSweepIntegration:
         # the injectable obs clock, so a frozen clock yields frozen times.
         events = []
         with obs.override_clock(lambda: 1000.0):
-            run_sweep(SPEC, max_workers=1, execution=FAST, progress=events.append)
+            run_sweep(SPEC, options=RunOptions(max_workers=1, execution=FAST, progress=events.append))
         assert events, "progress events must be emitted"
         assert all(event.elapsed_seconds == 0.0 for event in events)
         assert events[-1].done == events[-1].total

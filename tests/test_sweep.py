@@ -8,6 +8,7 @@ import pytest
 from repro.battery.parameters import KiBaMParameters
 from repro.engine import (
     LifetimeProblem,
+    RunOptions,
     ScenarioBatch,
     SweepCache,
     SweepScenarioError,
@@ -142,8 +143,8 @@ class TestFingerprint:
 
 class TestRunSweep:
     def test_serial_and_parallel_identical(self, spec):
-        serial = run_sweep(spec, max_workers=1)
-        parallel = run_sweep(spec, max_workers=2)
+        serial = run_sweep(spec, options=RunOptions(max_workers=1))
+        parallel = run_sweep(spec, options=RunOptions(max_workers=2))
         assert not serial.diagnostics["parallel"]
         assert parallel.diagnostics["parallel"]
         for a, b in zip(serial, parallel):
@@ -152,7 +153,7 @@ class TestRunSweep:
 
     def test_results_in_scenario_order(self, spec):
         problems, _ = spec.scenarios()
-        outcome = run_sweep(spec, max_workers=2)
+        outcome = run_sweep(spec, options=RunOptions(max_workers=2))
         assert outcome.labels == [problem.label for problem in problems]
         for problem, result in zip(problems, outcome):
             single = ScenarioBatch([problem]).run("mrm-uniformization")[0]
@@ -160,8 +161,8 @@ class TestRunSweep:
 
     def test_batch_and_problem_list_inputs(self, spec):
         problems, _ = spec.scenarios()
-        from_list = run_sweep(problems, "mrm-uniformization", max_workers=1)
-        from_batch = run_sweep(ScenarioBatch(problems), "mrm-uniformization", max_workers=1)
+        from_list = run_sweep(problems, "mrm-uniformization", options=RunOptions(max_workers=1))
+        from_batch = run_sweep(ScenarioBatch(problems), "mrm-uniformization", options=RunOptions(max_workers=1))
         for a, b in zip(from_list, from_batch):
             assert np.array_equal(a.probabilities, b.probabilities)
 
@@ -173,8 +174,8 @@ class TestRunSweep:
             methods=["monte-carlo"],
             n_runs=300,
         )
-        one = run_sweep(spec, max_workers=1)
-        two = run_sweep(spec, max_workers=2)
+        one = run_sweep(spec, options=RunOptions(max_workers=1))
+        two = run_sweep(spec, options=RunOptions(max_workers=2))
         for a, b in zip(one, two):
             assert np.array_equal(a.probabilities, b.probabilities)
 
@@ -208,13 +209,13 @@ class TestRunSweep:
         )
         assert bad.n_current_levels > 2
         with pytest.raises(SweepScenarioError) as caught:
-            run_sweep([good, bad], "analytic", max_workers=max_workers)
+            run_sweep([good, bad], "analytic", options=RunOptions(max_workers=max_workers))
         assert "three-current scenario" in str(caught.value)
         assert caught.value.labels == ("three-current scenario",)
         assert "UnsupportedProblemError" in str(caught.value)
 
     def test_sweep_diagnostics(self, spec):
-        outcome = run_sweep(spec, max_workers=2)
+        outcome = run_sweep(spec, options=RunOptions(max_workers=2))
         diagnostics = outcome.diagnostics
         assert diagnostics["n_scenarios"] == 4
         assert diagnostics["n_solved"] == 4
@@ -228,8 +229,8 @@ class TestRunSweep:
 class TestSweepCache:
     def test_rerun_is_served_from_cache(self, spec):
         cache = SweepCache()
-        first = run_sweep(spec, max_workers=1, cache=cache)
-        second = run_sweep(spec, max_workers=1, cache=cache)
+        first = run_sweep(spec, options=RunOptions(max_workers=1, cache=cache))
+        second = run_sweep(spec, options=RunOptions(max_workers=1, cache=cache))
         assert second.diagnostics["n_solved"] == 0
         assert second.diagnostics["cache_hits"] == len(spec)
         for a, b in zip(first, second):
@@ -241,30 +242,30 @@ class TestSweepCache:
 
     def test_cache_shared_between_serial_and_parallel(self, spec):
         cache = SweepCache()
-        run_sweep(spec, max_workers=2, cache=cache)
-        again = run_sweep(spec, max_workers=1, cache=cache)
+        run_sweep(spec, options=RunOptions(max_workers=2, cache=cache))
+        again = run_sweep(spec, options=RunOptions(max_workers=1, cache=cache))
         assert again.diagnostics["n_solved"] == 0
 
     def test_disk_cache_survives_new_instance(self, spec, tmp_path):
-        first = run_sweep(spec, max_workers=1, cache=SweepCache(tmp_path))
+        first = run_sweep(spec, options=RunOptions(max_workers=1, cache=SweepCache(tmp_path)))
         fresh = SweepCache(tmp_path)
-        second = run_sweep(spec, max_workers=1, cache=fresh)
+        second = run_sweep(spec, options=RunOptions(max_workers=1, cache=fresh))
         assert second.diagnostics["n_solved"] == 0
         for a, b in zip(first, second):
             assert np.array_equal(a.probabilities, b.probabilities)
 
     def test_cache_dir_convenience(self, spec, tmp_path):
-        run_sweep(spec, max_workers=1, cache_dir=tmp_path)
-        second = run_sweep(spec, max_workers=1, cache_dir=tmp_path)
+        run_sweep(spec, options=RunOptions(max_workers=1, cache_dir=tmp_path))
+        second = run_sweep(spec, options=RunOptions(max_workers=1, cache_dir=tmp_path))
         assert second.diagnostics["n_solved"] == 0
 
     def test_corrupt_disk_entry_is_resolved(self, spec, tmp_path):
         cache = SweepCache(tmp_path)
-        run_sweep(spec, max_workers=1, cache=cache)
+        run_sweep(spec, options=RunOptions(max_workers=1, cache=cache))
         for entry in tmp_path.glob("*.pkl"):
             entry.write_bytes(b"not a pickle")
         fresh = SweepCache(tmp_path)
-        outcome = run_sweep(spec, max_workers=1, cache=fresh)
+        outcome = run_sweep(spec, options=RunOptions(max_workers=1, cache=fresh))
         # Corrupt entries fall back to solving.
         assert outcome.diagnostics["n_solved"] == len(spec)
 
@@ -277,15 +278,15 @@ class TestSweepCache:
             label="first name",
         )
         cache = SweepCache()
-        run_sweep([problem], "mrm-uniformization", max_workers=1, cache=cache)
+        run_sweep([problem], "mrm-uniformization", options=RunOptions(max_workers=1, cache=cache))
         renamed = problem.with_label("second name")
-        outcome = run_sweep([renamed], "mrm-uniformization", max_workers=1, cache=cache)
+        outcome = run_sweep([renamed], "mrm-uniformization", options=RunOptions(max_workers=1, cache=cache))
         assert outcome.diagnostics["cache_hits"] == 1
         assert outcome[0].label == "second name"
 
     def test_stats(self, spec):
         cache = SweepCache()
-        run_sweep(spec, max_workers=1, cache=cache)
+        run_sweep(spec, options=RunOptions(max_workers=1, cache=cache))
         stats = cache.stats()
         assert stats["entries"] == len(spec)
         assert stats["misses"] == len(spec)
@@ -300,7 +301,7 @@ class TestCacheVersioning:
     @staticmethod
     def _solved(spec, tmp_path) -> SweepCache:
         cache = SweepCache(tmp_path)
-        run_sweep(spec, max_workers=1, cache=cache)
+        run_sweep(spec, options=RunOptions(max_workers=1, cache=cache))
         return cache
 
     def test_entries_are_version_stamped_envelopes(self, spec, tmp_path):
@@ -322,7 +323,7 @@ class TestCacheVersioning:
             envelope["schema"] = CACHE_SCHEMA_VERSION + 1
             path.write_bytes(pickle.dumps(envelope))
         fresh = SweepCache(tmp_path)
-        outcome = run_sweep(spec, max_workers=1, cache=fresh)
+        outcome = run_sweep(spec, options=RunOptions(max_workers=1, cache=fresh))
         # Nothing stale was served: every scenario was re-solved, and the
         # evidence survives as *.corrupt files next to the fresh entries.
         assert outcome.diagnostics["n_solved"] == len(spec)
@@ -337,7 +338,7 @@ class TestCacheVersioning:
             envelope = pickle.loads(path.read_bytes())
             path.write_bytes(pickle.dumps(envelope["result"]))
         fresh = SweepCache(tmp_path)
-        outcome = run_sweep(spec, max_workers=1, cache=fresh)
+        outcome = run_sweep(spec, options=RunOptions(max_workers=1, cache=fresh))
         assert outcome.diagnostics["n_solved"] == len(spec)
         assert fresh.stats()["quarantined"] == len(spec)
 
@@ -346,7 +347,7 @@ class TestCacheVersioning:
         for path in tmp_path.glob("*.pkl"):
             path.write_bytes(b"not a pickle")
         fresh = SweepCache(tmp_path)
-        run_sweep(spec, max_workers=1, cache=fresh)
+        run_sweep(spec, options=RunOptions(max_workers=1, cache=fresh))
         assert fresh.stats()["quarantined"] == len(spec)
 
     def test_stats_report_disk_entries_and_disk_hits(self, spec, tmp_path):
@@ -354,7 +355,7 @@ class TestCacheVersioning:
         assert cache.stats()["disk_entries"] == len(spec)
         assert cache.stats()["disk_hits"] == 0
         fresh = SweepCache(tmp_path)
-        run_sweep(spec, max_workers=1, cache=fresh)
+        run_sweep(spec, options=RunOptions(max_workers=1, cache=fresh))
         stats = fresh.stats()
         assert stats["disk_hits"] == len(spec)
         assert stats["hits"] == len(spec)
@@ -367,7 +368,7 @@ class TestCacheVersioning:
             times=TIMES,
             delta=50.0,
         )
-        result = run_sweep([problem], "mrm-uniformization", max_workers=1)[0]
+        result = run_sweep([problem], "mrm-uniformization", options=RunOptions(max_workers=1))[0]
         cache = SweepCache(tmp_path)
         cache.put("a" * 16, result, memory_only=True)
         assert cache.stats()["entries"] == 1
